@@ -1,0 +1,75 @@
+// Convergence after an inter-AD link failure (paper §4.3, §5.1.1).
+//
+// The same failure -- the backbone-to-backbone link of Figure 1 -- is
+// replayed under plain distance vector (RIP-like), ECMA's partial-order
+// DV, IDRP's path vector, and link-state flooding, printing the messages
+// and simulated time each needs to settle.
+//
+//   ./build/examples/convergence_story
+#include <cstdio>
+
+#include "core/adapters.hpp"
+#include "policy/generator.hpp"
+#include "topology/figure1.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idr;
+
+  Figure1 fig = build_figure1();
+  const PolicySet policies = make_open_policies(fig.topo);
+  const LinkId cut =
+      *fig.topo.find_link(fig.backbone_west, fig.backbone_east);
+
+  Table table({"architecture", "initial msgs", "initial time(ms)",
+               "reconv msgs", "reconv time(ms)", "reroutes via lateral"});
+
+  auto run = [&](RoutingArchitecture& arch) {
+    arch.build(fig.topo, policies);
+    const ConvergenceStats initial = arch.initial_convergence();
+    const ConvergenceStats recon = arch.perturb(cut, false);
+    // Does traffic between the split backbones find the lateral detour?
+    const RouteTrace trace =
+        arch.trace(FlowSpec{fig.campus[0], fig.campus[6]});
+    bool lateral = false;
+    if (trace.path) {
+      for (std::size_t i = 0; i + 1 < trace.path->size(); ++i) {
+        const AdId a = (*trace.path)[i];
+        const AdId b = (*trace.path)[i + 1];
+        if ((a == fig.regional[1] && b == fig.regional[2]) ||
+            (a == fig.regional[2] && b == fig.regional[1])) {
+          lateral = true;
+        }
+      }
+    }
+    table.add_row(
+        {arch.name(),
+         Table::integer(static_cast<long long>(initial.messages)),
+         Table::num(initial.time_ms, 4),
+         Table::integer(static_cast<long long>(recon.messages)),
+         Table::num(recon.time_ms, 4), lateral ? "yes" : "no"});
+  };
+
+  DvArchitecture plain_dv(DvConfig{.split_horizon = false});
+  DvArchitecture sh_dv(DvConfig{.split_horizon = true});
+  EcmaArchitecture ecma;
+  IdrpArchitecture idrp;
+  LshhArchitecture lshh;
+  OrwgArchitecture orwg;
+  run(plain_dv);
+  run(sh_dv);
+  run(ecma);
+  run(idrp);
+  run(lshh);
+  run(orwg);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: plain DV pays the count-to-infinity message tax; the\n"
+      "partial ordering (ecma) suppresses it; link-state floods settle\n"
+      "fastest. The policy-term architectures reroute across the\n"
+      "Reg-1/Reg-2 lateral once the inter-backbone link dies; ecma\n"
+      "cannot (the detour is down-then-up, which its up/down rule\n"
+      "forbids) -- loop suppression bought with reachability.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Route availability under source-specific policy (paper §5.1-§5.4).
+//
+// A transit backbone restricts service to a subset of source ADs. The
+// hop-by-hop architectures (ECMA's partial ordering cannot even express
+// the policy; IDRP advertises constrained routes) are compared with the
+// ORWG source-routing design against the ground-truth oracle: a legal
+// route exists, but who finds it?
+//
+//   ./build/examples/policy_conflict
+#include <cstdio>
+
+#include "core/adapters.hpp"
+#include "core/metrics.hpp"
+#include "core/oracle.hpp"
+#include "policy/generator.hpp"
+#include "topology/figure1.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace idr;
+
+  Figure1 fig = build_figure1();
+  PolicySet policies = make_open_policies(fig.topo);
+
+  // BB-West refuses everyone except campus0; BB-East carries all.
+  policies.clear_terms(fig.backbone_west);
+  PolicyTerm exclusive = open_transit_term(fig.backbone_west);
+  exclusive.sources = AdSet::of({fig.campus[0]});
+  policies.add_term(exclusive);
+
+  // Flows: campus0 (privileged) and campus2 (unprivileged, but with the
+  // Reg-1 -- Reg-2 lateral detour available) toward an east campus.
+  const std::vector<FlowSpec> flows = {
+      {fig.campus[0], fig.campus[6]},  // only legal via BB-West
+      {fig.campus[2], fig.campus[4]},  // legal via the lateral detour
+      {fig.campus[3], fig.campus[6]},  // must detour around BB-West
+      {fig.campus[4], fig.campus[0]},  // NO legal route (Reg-0 sits behind
+                                       // the restricted backbone)
+  };
+
+  const Oracle oracle(fig.topo, policies);
+  std::printf("Ground truth:\n");
+  for (const FlowSpec& flow : flows) {
+    const auto best = oracle.best_route(flow);
+    std::printf("  %s : %s\n", flow.describe(fig.topo).c_str(),
+                best.found() ? "legal route exists" : "no legal route");
+  }
+  std::printf("\n");
+
+  Table table(
+      {"architecture", "design point", "found", "legal", "illegal",
+       "missed"});
+  for (auto& arch : make_policy_architectures()) {
+    const ArchEvaluation eval =
+        evaluate_architecture(*arch, fig.topo, policies, flows);
+    table.add_row({arch->name(), eval.design_point,
+                   Table::integer(static_cast<long long>(eval.found)),
+                   Table::integer(static_cast<long long>(eval.legal)),
+                   Table::integer(static_cast<long long>(eval.illegal)),
+                   Table::integer(static_cast<long long>(eval.missed))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: the link-state source-routing design (orwg) finds every\n"
+      "legal route and refuses the impossible one; policy-blind and\n"
+      "policy-in-topology designs forward the fourth flow straight\n"
+      "through the backbone that forbids it (the 'illegal' column).\n");
+  return 0;
+}

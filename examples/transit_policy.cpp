@@ -1,0 +1,95 @@
+// An NSFNET-style acceptable-use policy (paper §2.3): the research
+// backbone only carries research-class traffic, and a commercial carrier
+// charges more. Sources pick Policy Routes per user class; the policy
+// gateways enforce the AUP on setup.
+//
+//   ./build/examples/transit_policy
+#include <cstdio>
+
+#include "policy/generator.hpp"
+#include "proto/orwg/orwg_node.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/figure1.hpp"
+
+int main() {
+  using namespace idr;
+
+  Figure1 fig = build_figure1();
+  PolicySet policies = make_open_policies(fig.topo);
+
+  // BB-West is the research backbone: research traffic only (the AUP),
+  // cheap. BB-East is a commercial carrier: anything, cost 5.
+  apply_aup(policies, fig.backbone_west);
+  policies.clear_terms(fig.backbone_east);
+  policies.add_term(open_transit_term(fig.backbone_east, 0, /*cost=*/5));
+
+  Engine engine;
+  Network net(engine, fig.topo);
+  std::vector<OrwgNode*> nodes;
+  for (const Ad& ad : fig.topo.ads()) {
+    auto node = std::make_unique<OrwgNode>(&policies);
+    nodes.push_back(node.get());
+    net.attach(ad.id, std::move(node));
+  }
+  net.start_all();
+  engine.run();
+
+  auto show = [&](AdId src_ad, UserClass uci) {
+    FlowSpec flow{src_ad, fig.campus[6], Qos::kDefault, uci, 12};
+    OrwgNode* src = nodes[flow.src.v];
+    const auto route = src->policy_route(flow);
+    std::printf("%-9s / %-11s: ", fig.topo.ad(src_ad).name.c_str(),
+                to_string(uci));
+    if (!route) {
+      std::printf("no legal policy route\n");
+      return;
+    }
+    for (std::size_t i = 0; i < route->size(); ++i) {
+      std::printf("%s%s", i ? " > " : "",
+                  fig.topo.ad((*route)[i]).name.c_str());
+    }
+    src->send_flow(flow, 20);
+    engine.run();
+    std::printf("\n");
+  };
+
+  // Campus-0's only provider chain runs through the research backbone:
+  // its research traffic flows, its commercial traffic is AUP-stranded
+  // (the 1990s NSFNET situation the paper's UCI policies model).
+  show(fig.campus[0], UserClass::kResearch);
+  show(fig.campus[0], UserClass::kCommercial);
+  // Campus-2's regional peers laterally with Reg-2, so its commercial
+  // traffic can route around the AUP via the commercial carrier.
+  show(fig.campus[2], UserClass::kResearch);
+  show(fig.campus[2], UserClass::kCommercial);
+
+  std::printf("\nDelivered at %s: %llu packets\n",
+              fig.topo.ad(fig.campus[6]).name.c_str(),
+              static_cast<unsigned long long>(
+                  nodes[fig.campus[6].v]->delivered()));
+
+  std::printf("\nGateway stats at %s: %llu setups accepted, %llu rejected\n",
+              fig.topo.ad(fig.backbone_west).name.c_str(),
+              static_cast<unsigned long long>(
+                  nodes[fig.backbone_west.v]->gateway().setups_accepted()),
+              static_cast<unsigned long long>(
+                  nodes[fig.backbone_west.v]->gateway().setups_rejected()));
+
+  // Charging & accounting (§2.3): each transit AD meters validated
+  // usage per source against the admitting Policy Term's price.
+  for (AdId carrier : {fig.backbone_west, fig.backbone_east}) {
+    PolicyGateway& gw = nodes[carrier.v]->gateway();
+    std::printf("\n%s invoices (total revenue %llu):\n",
+                fig.topo.ad(carrier).name.c_str(),
+                static_cast<unsigned long long>(gw.total_revenue()));
+    for (const PolicyGateway::Invoice& invoice : gw.invoices()) {
+      std::printf("  %-10s %llu packets, %llu bytes -> charge %llu\n",
+                  fig.topo.ad(invoice.source).name.c_str(),
+                  static_cast<unsigned long long>(invoice.packets),
+                  static_cast<unsigned long long>(invoice.bytes),
+                  static_cast<unsigned long long>(invoice.amount));
+    }
+  }
+  return 0;
+}

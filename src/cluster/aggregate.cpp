@@ -1,0 +1,108 @@
+#include "cluster/aggregate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+ClusterGraph aggregate(const Topology& topo, const PolicySet& policies,
+                       const Clustering& clustering) {
+  ClusterGraph graph;
+
+  // Cluster-level nodes: class is the highest (numerically lowest) class
+  // among members; role is transit if any member can transit.
+  for (std::uint32_t c = 0; c < clustering.count(); ++c) {
+    const auto& members = clustering.members(ClusterId{c});
+    IDR_CHECK(!members.empty());
+    AdClass best_class = AdClass::kCampus;
+    bool transit = false;
+    for (AdId member : members) {
+      const Ad& ad = topo.ad(member);
+      if (static_cast<std::uint8_t>(ad.cls) <
+          static_cast<std::uint8_t>(best_class)) {
+        best_class = ad.cls;
+      }
+      if (topo.can_transit(member)) transit = true;
+    }
+    const AdId node = graph.topo.add_ad(
+        best_class, transit ? AdRole::kTransit : AdRole::kStub,
+        "cluster-" + std::to_string(c));
+    IDR_CHECK(node.v == c);
+  }
+
+  // Cluster-level links: best (min metric / min delay) live inter-cluster
+  // member link per cluster pair.
+  struct Best {
+    std::uint32_t metric = 0;
+    double delay = 0.0;
+    LinkClass cls = LinkClass::kHierarchical;
+    bool set = false;
+  };
+  std::map<std::pair<std::uint32_t, std::uint32_t>, Best> best_links;
+  for (const Link& l : topo.links()) {
+    if (!l.up) continue;
+    const ClusterId ca = clustering.cluster_of(l.a);
+    const ClusterId cb = clustering.cluster_of(l.b);
+    if (ca == cb) continue;
+    const auto key = std::minmax(ca.v, cb.v);
+    Best& best = best_links[{key.first, key.second}];
+    if (!best.set || l.metric < best.metric) {
+      best = Best{l.metric, l.delay_ms, l.cls, true};
+    }
+  }
+  for (const auto& [key, best] : best_links) {
+    graph.topo.add_link(AdId{key.first}, AdId{key.second}, best.cls,
+                        best.delay, best.metric);
+  }
+
+  // Aggregated policy: one optimistic term per transit cluster -- union
+  // of member QoS/UCI capability, widest hour coverage, cheapest cost.
+  graph.policies.resize(graph.topo.ad_count());
+  for (std::uint32_t c = 0; c < clustering.count(); ++c) {
+    std::uint8_t qos_mask = 0;
+    std::uint8_t uci_mask = 0;
+    bool full_day = false;
+    std::uint8_t begin = 23, end = 0;
+    std::uint32_t min_cost = 0;
+    bool any = false;
+    for (AdId member : clustering.members(ClusterId{c})) {
+      if (!topo.can_transit(member)) continue;
+      for (const PolicyTerm& t : policies.terms(member)) {
+        qos_mask |= t.qos_mask;
+        uci_mask |= t.uci_mask;
+        if (t.hour_begin == 0 && t.hour_end == 23) full_day = true;
+        begin = std::min(begin, t.hour_begin);
+        end = std::max(end, t.hour_end);
+        min_cost = any ? std::min(min_cost, t.cost) : t.cost;
+        any = true;
+      }
+    }
+    if (!any) continue;  // pure-stub cluster: no transit advertised
+    PolicyTerm aggregated = open_transit_term(AdId{c}, 0, min_cost);
+    aggregated.qos_mask = qos_mask;
+    aggregated.uci_mask = uci_mask;
+    if (!full_day) {
+      aggregated.hour_begin = begin;
+      aggregated.hour_end = end;
+    }
+    graph.policies.add_term(std::move(aggregated));
+  }
+  return graph;
+}
+
+AbstractionFootprint footprint(const Topology& topo,
+                               const PolicySet& policies,
+                               const ClusterGraph& clusters) {
+  AbstractionFootprint result;
+  result.flat_nodes = topo.ad_count();
+  result.flat_links = topo.link_count();
+  result.flat_terms = policies.total_terms();
+  result.cluster_nodes = clusters.topo.ad_count();
+  result.cluster_links = clusters.topo.link_count();
+  result.cluster_terms = clusters.policies.total_terms();
+  return result;
+}
+
+}  // namespace idr

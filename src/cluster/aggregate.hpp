@@ -1,0 +1,46 @@
+// Aggregation of a clustered internet into a cluster-level graph with
+// optimistically-aggregated policy: the information a super-domain would
+// advertise about itself instead of flooding every member's LSA.
+//
+// Aggregation is deliberately *optimistic* (union of member capabilities,
+// source/destination constraints widened to "any"): a cluster-level
+// route is a hypothesis that must be validated by AD-level expansion
+// inside the corridor it defines -- exactly how the abstraction loses
+// "some optimality" (§4.1) and occasionally a route; the E-abstraction
+// bench quantifies both.
+#pragma once
+
+#include "cluster/clustering.hpp"
+#include "policy/database.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct ClusterGraph {
+  // One cluster-level "AD" per cluster; AdId value == ClusterId value.
+  Topology topo;
+  PolicySet policies;
+
+  [[nodiscard]] AdId node_of(ClusterId cluster) const {
+    return AdId{cluster.v};
+  }
+};
+
+ClusterGraph aggregate(const Topology& topo, const PolicySet& policies,
+                       const Clustering& clustering);
+
+// Rough byte sizes of the information each level would flood: the
+// state-reduction half of the abstraction tradeoff.
+struct AbstractionFootprint {
+  std::size_t flat_nodes = 0;
+  std::size_t flat_links = 0;
+  std::size_t flat_terms = 0;
+  std::size_t cluster_nodes = 0;
+  std::size_t cluster_links = 0;
+  std::size_t cluster_terms = 0;
+};
+AbstractionFootprint footprint(const Topology& topo,
+                               const PolicySet& policies,
+                               const ClusterGraph& clusters);
+
+}  // namespace idr

@@ -1,0 +1,91 @@
+#include "cluster/clustering.hpp"
+
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+ClusterId Clustering::add_cluster() {
+  members_.emplace_back();
+  return ClusterId{static_cast<std::uint32_t>(members_.size() - 1)};
+}
+
+void Clustering::assign(AdId ad, ClusterId cluster) {
+  IDR_CHECK(ad.v < cluster_of_.size());
+  IDR_CHECK(cluster.v < members_.size());
+  IDR_CHECK_MSG(cluster_of_[ad.v] == ClusterId{},
+                "AD already assigned to a cluster");
+  cluster_of_[ad.v] = cluster;
+  members_[cluster.v].push_back(ad);
+}
+
+ClusterId Clustering::cluster_of(AdId ad) const {
+  IDR_CHECK(ad.v < cluster_of_.size());
+  return cluster_of_[ad.v];
+}
+
+const std::vector<AdId>& Clustering::members(ClusterId cluster) const {
+  IDR_CHECK(cluster.v < members_.size());
+  return members_[cluster.v];
+}
+
+bool Clustering::complete() const noexcept {
+  for (const ClusterId& c : cluster_of_) {
+    if (c == ClusterId{}) return false;
+  }
+  return true;
+}
+
+Clustering cluster_by_hierarchy(const Topology& topo) {
+  Clustering clustering(topo.ad_count());
+  // Pass 1: every backbone is its own cluster.
+  for (const Ad& ad : topo.ads()) {
+    if (ad.cls == AdClass::kBackbone) {
+      clustering.assign(ad.id, clustering.add_cluster());
+    }
+  }
+  // Pass 2: each regional anchors a cluster holding its hierarchical
+  // subtree. First-parent-wins for multi-homed members.
+  for (const Ad& ad : topo.ads()) {
+    if (ad.cls != AdClass::kRegional) continue;
+    const ClusterId cluster = clustering.add_cluster();
+    clustering.assign(ad.id, cluster);
+    std::deque<AdId> frontier{ad.id};
+    while (!frontier.empty()) {
+      const AdId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& adj : topo.neighbors(cur)) {
+        if (topo.link(adj.link).cls != LinkClass::kHierarchical) continue;
+        const Ad& peer = topo.ad(adj.neighbor);
+        if (static_cast<std::uint8_t>(peer.cls) <=
+            static_cast<std::uint8_t>(topo.ad(cur).cls)) {
+          continue;  // not a hierarchical child
+        }
+        if (clustering.cluster_of(peer.id) != ClusterId{}) continue;
+        clustering.assign(peer.id, cluster);
+        frontier.push_back(peer.id);
+      }
+    }
+  }
+  // Pass 3: strays (e.g. campuses hanging directly off a backbone via a
+  // bypass-only attachment) join their first neighbor's cluster, or get
+  // a singleton cluster.
+  for (const Ad& ad : topo.ads()) {
+    if (clustering.cluster_of(ad.id) != ClusterId{}) continue;
+    ClusterId home{};
+    for (const Adjacency& adj : topo.neighbors(ad.id)) {
+      const ClusterId c = clustering.cluster_of(adj.neighbor);
+      if (c != ClusterId{}) {
+        home = c;
+        break;
+      }
+    }
+    if (home == ClusterId{}) home = clustering.add_cluster();
+    clustering.assign(ad.id, home);
+  }
+  IDR_CHECK(clustering.complete());
+  return clustering;
+}
+
+}  // namespace idr

@@ -1,0 +1,49 @@
+// Clustering ADs into super-domains (paper §4.1 and §5.1.1's logical
+// clusters; §6 lists "database distribution strategies" and scaling as
+// open issues -- grouping ADs and aggregating their advertisements is
+// the classic answer, and Table 1's policy-in-topology column notes the
+// approach "lends itself well to scaling, as it allows ADs to be grouped
+// into a hierarchy").
+//
+// A Clustering partitions the AD set. cluster_by_hierarchy() produces
+// the natural partition of the paper's internet model: each backbone is
+// its own cluster; each regional anchors a cluster containing its
+// hierarchical subtree (metros and campuses). Multi-homed members join
+// their first parent's cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct ClusterId {
+  std::uint32_t v = 0xffffffffu;
+  constexpr auto operator<=>(const ClusterId&) const noexcept = default;
+};
+
+class Clustering {
+ public:
+  explicit Clustering(std::size_t ad_count)
+      : cluster_of_(ad_count, ClusterId{}) {}
+
+  ClusterId add_cluster();
+  void assign(AdId ad, ClusterId cluster);
+
+  [[nodiscard]] ClusterId cluster_of(AdId ad) const;
+  [[nodiscard]] std::uint32_t count() const noexcept {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  [[nodiscard]] const std::vector<AdId>& members(ClusterId cluster) const;
+  [[nodiscard]] bool complete() const noexcept;  // every AD assigned
+
+ private:
+  std::vector<ClusterId> cluster_of_;
+  std::vector<std::vector<AdId>> members_;
+};
+
+Clustering cluster_by_hierarchy(const Topology& topo);
+
+}  // namespace idr

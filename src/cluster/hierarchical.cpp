@@ -1,0 +1,93 @@
+#include "cluster/hierarchical.hpp"
+
+namespace idr {
+
+void CorridorView::for_each_neighbor(
+    AdId ad, const std::function<void(AdId, std::uint32_t)>& fn) const {
+  if (!allowed_[clustering_.cluster_of(ad).v]) return;
+  base_.for_each_neighbor(ad, [&](AdId neighbor, std::uint32_t metric) {
+    if (allowed_[clustering_.cluster_of(neighbor).v]) fn(neighbor, metric);
+  });
+}
+
+std::optional<std::uint32_t> CorridorView::transit_cost(AdId ad,
+                                                        const FlowSpec& flow,
+                                                        AdId prev,
+                                                        AdId next) const {
+  if (!allowed_[clustering_.cluster_of(ad).v]) return std::nullopt;
+  return base_.transit_cost(ad, flow, prev, next);
+}
+
+HierarchicalResult synthesize_hierarchical(const Topology& topo,
+                                           const PolicySet& policies,
+                                           const Clustering& clustering,
+                                           const ClusterGraph& clusters,
+                                           const FlowSpec& flow,
+                                           const SynthesisOptions& options) {
+  HierarchicalResult out;
+
+  // Level 1: route the flow at cluster granularity.
+  FlowSpec cluster_flow = flow;
+  cluster_flow.src = clusters.node_of(clustering.cluster_of(flow.src));
+  cluster_flow.dst = clusters.node_of(clustering.cluster_of(flow.dst));
+  const GroundTruthView cluster_view(clusters.topo, clusters.policies);
+
+  std::vector<bool> corridor(clustering.count(), false);
+  if (cluster_flow.src == cluster_flow.dst) {
+    // Intra-cluster flow: the corridor is the home cluster alone.
+    corridor[cluster_flow.src.v] = true;
+  } else {
+    SynthesisOptions cluster_options = options;
+    cluster_options.avoid.clear();  // avoid lists name ADs, not clusters
+    const SynthesisResult cluster_route =
+        synthesize_route(cluster_view, cluster_flow, cluster_options);
+    out.cluster_expansions = cluster_route.expansions;
+    if (cluster_route.found()) {
+      for (AdId cluster_node : cluster_route.path) {
+        corridor[cluster_node.v] = true;
+      }
+    }
+  }
+
+  // Level 2: exact AD-level search inside the corridor; if the
+  // optimistic corridor has no legal expansion, fatten it by one cluster
+  // hop (detours usually live next door) before giving up on it.
+  const GroundTruthView flat_view(topo, policies);
+  bool corridor_nonempty = false;
+  for (bool b : corridor) corridor_nonempty = corridor_nonempty || b;
+  if (corridor_nonempty) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const CorridorView corridor_view(flat_view, clustering, corridor);
+      const SynthesisResult refined =
+          synthesize_route(corridor_view, flow, options);
+      out.corridor_expansions += refined.expansions;
+      if (refined.found()) {
+        out.result = refined;
+        return out;
+      }
+      if (attempt == 0) {
+        // Fatten: add every cluster adjacent (in the cluster graph) to
+        // the current corridor.
+        std::vector<bool> fattened = corridor;
+        for (std::uint32_t c = 0; c < clustering.count(); ++c) {
+          if (!corridor[c]) continue;
+          for (const Adjacency& adj :
+               clusters.topo.neighbors(AdId{c})) {
+            fattened[adj.neighbor.v] = true;
+          }
+        }
+        if (fattened == corridor) break;  // nothing to widen
+        corridor = std::move(fattened);
+      }
+    }
+  }
+
+  // Optimistic aggregation misled us (or found nothing): fall back to
+  // the flat search so correctness never regresses.
+  out.used_fallback = true;
+  out.result = synthesize_route(flat_view, flow, options);
+  out.fallback_expansions = out.result.expansions;
+  return out;
+}
+
+}  // namespace idr

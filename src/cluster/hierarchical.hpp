@@ -1,0 +1,59 @@
+// Two-level (hierarchical) policy route synthesis:
+//   1. solve the flow at cluster granularity over the aggregated graph;
+//   2. expand the winning cluster sequence by running the exact AD-level
+//      search inside the corridor of those clusters only.
+// Because aggregation is optimistic, the corridor expansion can fail; the
+// synthesizer then falls back to the flat (full-topology) search and
+// reports that it did. The E-abstraction bench measures the search-work
+// saved, the stretch paid, and the fallback rate -- the quantitative
+// form of §4.1's "some optimality may be lost [but] the benefits of this
+// abstraction far outweigh its costs".
+#pragma once
+
+#include "cluster/aggregate.hpp"
+#include "core/synthesis.hpp"
+
+namespace idr {
+
+struct HierarchicalResult {
+  SynthesisResult result;              // final AD-level route
+  std::uint64_t cluster_expansions = 0;   // level-1 search work
+  std::uint64_t corridor_expansions = 0;  // level-2 search work
+  std::uint64_t fallback_expansions = 0;  // flat search work (fallback only)
+  bool used_fallback = false;
+
+  [[nodiscard]] std::uint64_t total_expansions() const noexcept {
+    return cluster_expansions + corridor_expansions + fallback_expansions;
+  }
+};
+
+HierarchicalResult synthesize_hierarchical(
+    const Topology& topo, const PolicySet& policies,
+    const Clustering& clustering, const ClusterGraph& clusters,
+    const FlowSpec& flow, const SynthesisOptions& options = {});
+
+// SynthesisView restricted to ADs inside an allowed cluster set.
+class CorridorView final : public SynthesisView {
+ public:
+  CorridorView(const SynthesisView& base, const Clustering& clustering,
+               std::vector<bool> allowed_clusters)
+      : base_(base),
+        clustering_(clustering),
+        allowed_(std::move(allowed_clusters)) {}
+
+  [[nodiscard]] std::size_t ad_count() const override {
+    return base_.ad_count();
+  }
+  void for_each_neighbor(
+      AdId ad, const std::function<void(AdId, std::uint32_t)>& fn)
+      const override;
+  [[nodiscard]] std::optional<std::uint32_t> transit_cost(
+      AdId ad, const FlowSpec& flow, AdId prev, AdId next) const override;
+
+ private:
+  const SynthesisView& base_;
+  const Clustering& clustering_;
+  std::vector<bool> allowed_;
+};
+
+}  // namespace idr

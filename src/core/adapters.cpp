@@ -1,0 +1,292 @@
+#include "core/adapters.hpp"
+
+#include <unordered_set>
+
+#include "proto/ecma/partial_order.hpp"
+#include "util/check.hpp"
+
+namespace idr {
+namespace {
+
+// Per-AD stub/hybrid shaping shared by the adapters that must derive
+// policy from roles (the architectures that cannot read Policy Terms).
+bool is_stub_role(const Topology& topo, AdId ad) {
+  const AdRole role = topo.ad(ad).role;
+  return role == AdRole::kStub || role == AdRole::kMultiHomed;
+}
+
+}  // namespace
+
+// --- DV (RIP baseline) ---
+
+void DvArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<DvNode>(config_);
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace DvArchitecture::trace(const FlowSpec& flow) {
+  return walk(flow, [&](AdId cur, const std::vector<AdId>&) {
+    return nodes_[cur.v]->next_hop(flow.dst);
+  });
+}
+
+std::size_t DvArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const DvNode* node : nodes_) n += node->route_count();
+  return n;
+}
+
+// --- LS (OSPF baseline) ---
+
+void LsArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<LsNode>();
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace LsArchitecture::trace(const FlowSpec& flow) {
+  return walk(flow, [&](AdId cur, const std::vector<AdId>&) {
+    return nodes_[cur.v]->next_hop(flow.dst, flow.qos);
+  });
+}
+
+std::size_t LsArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const LsNode* node : nodes_) n += node->fib_size();
+  return n;
+}
+
+std::uint64_t LsArchitecture::computations() const {
+  std::uint64_t n = 0;
+  for (const LsNode* node : nodes_) n += node->spf_runs();
+  return n;
+}
+
+// --- EGP ---
+
+bool EgpArchitecture::applicable(const Topology& topo) const {
+  return egp_applicable(topo);
+}
+
+void EgpArchitecture::attach_nodes() {
+  IDR_CHECK_MSG(egp_applicable(topo_),
+                "EGP requires an acyclic inter-AD topology");
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<EgpNode>();
+    if (is_stub_role(topo_, ad.id)) {
+      // Stubs advertise only their own reachability.
+      node->set_export_filter({ad.id.v});
+    }
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace EgpArchitecture::trace(const FlowSpec& flow) {
+  return walk(flow, [&](AdId cur, const std::vector<AdId>&) {
+    return nodes_[cur.v]->next_hop(flow.dst);
+  });
+}
+
+std::size_t EgpArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const EgpNode* node : nodes_) {
+    for (const Ad& ad : topo_.ads()) {
+      if (node->next_hop(ad.id)) ++n;
+    }
+  }
+  return n;
+}
+
+// --- ECMA ---
+
+void EcmaArchitecture::attach_nodes() {
+  order_ = compute_partial_order(topo_, {});
+  IDR_CHECK_MSG(order_.ok, "structural ordering conflict");
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    EcmaConfig config;
+    config.stub = is_stub_role(topo_, ad.id);
+    if (ad.role == AdRole::kHybrid) {
+      // ECMA can express destination filters only: a hybrid AD serves
+      // transit solely toward its own neighbors.
+      for (const Adjacency& adj : topo_.neighbors(ad.id)) {
+        config.export_dsts.insert(adj.neighbor.v);
+      }
+    }
+    auto node = std::make_unique<EcmaNode>(&order_.order, std::move(config));
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace EcmaArchitecture::trace(const FlowSpec& flow) {
+  RouteTrace result;
+  std::vector<AdId> path{flow.src};
+  std::vector<bool> seen(topo_.ad_count(), false);
+  seen[flow.src.v] = true;
+  bool gone_down = false;
+  AdId cur = flow.src;
+  while (cur != flow.dst) {
+    const auto fwd = nodes_[cur.v]->forward(flow.dst, flow.qos, gone_down);
+    if (!fwd) return result;
+    if (seen[fwd->via.v]) {
+      result.looped = true;
+      return result;
+    }
+    gone_down = gone_down || fwd->sets_gone_down;
+    seen[fwd->via.v] = true;
+    path.push_back(fwd->via);
+    cur = fwd->via;
+    if (path.size() > topo_.ad_count()) {
+      result.looped = true;
+      return result;
+    }
+  }
+  result.path = std::move(path);
+  return result;
+}
+
+std::size_t EcmaArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const EcmaNode* node : nodes_) n += node->fib_entries();
+  return n;
+}
+
+// --- IDRP ---
+
+void IdrpArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<IdrpNode>(policies_, config_);
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace IdrpArchitecture::trace(const FlowSpec& flow) {
+  return walk(flow, [&](AdId cur, const std::vector<AdId>& path) {
+    const AdId prev = path.size() >= 2 ? path[path.size() - 2] : kNoAd;
+    return nodes_[cur.v]->forward(flow, prev);
+  });
+}
+
+std::size_t IdrpArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const IdrpNode* node : nodes_) {
+    n += node->loc_rib_routes() + node->adj_rib_routes();
+  }
+  return n;
+}
+
+// --- LSHH ---
+
+void LshhArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<LshhNode>(policies_);
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace LshhArchitecture::trace(const FlowSpec& flow) {
+  return walk(flow, [&](AdId cur, const std::vector<AdId>&) {
+    return nodes_[cur.v]->forward(flow);
+  });
+}
+
+std::size_t LshhArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const LshhNode* node : nodes_) {
+    n += node->cache_entries() + node->lsdb().size();
+  }
+  return n;
+}
+
+std::uint64_t LshhArchitecture::computations() const {
+  std::uint64_t n = 0;
+  for (const LshhNode* node : nodes_) n += node->path_computations();
+  return n;
+}
+
+// --- ORWG ---
+
+void OrwgArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<OrwgNode>(policies_, config_);
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace OrwgArchitecture::trace(const FlowSpec& flow) {
+  RouteTrace result;
+  auto path = nodes_[flow.src.v]->policy_route(flow);
+  if (path) result.path = std::move(*path);
+  return result;  // source routes cannot loop (synthesis is simple-path)
+}
+
+std::size_t OrwgArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (OrwgNode* node : nodes_) {
+    n += node->route_server().cache_size() + node->gateway().installed() +
+         node->lsdb().size();
+  }
+  return n;
+}
+
+std::uint64_t OrwgArchitecture::computations() const {
+  std::uint64_t n = 0;
+  for (OrwgNode* node : nodes_) n += node->route_server().synth_calls();
+  return n;
+}
+
+// --- DV + source routing hybrid ---
+
+void DvsrArchitecture::attach_nodes() {
+  nodes_.clear();
+  for (const Ad& ad : topo_.ads()) {
+    auto node = std::make_unique<DvsrNode>(policies_, config_);
+    nodes_.push_back(node.get());
+    net_->attach(ad.id, std::move(node));
+  }
+}
+
+RouteTrace DvsrArchitecture::trace(const FlowSpec& flow) {
+  RouteTrace result;
+  auto path = nodes_[flow.src.v]->source_route(flow);
+  if (path) result.path = std::move(*path);
+  return result;
+}
+
+std::size_t DvsrArchitecture::state_entries() const {
+  std::size_t n = 0;
+  for (const DvsrNode* node : nodes_) {
+    n += node->loc_rib_routes() + node->adj_rib_routes();
+  }
+  return n;
+}
+
+std::vector<std::unique_ptr<RoutingArchitecture>> make_policy_architectures() {
+  std::vector<std::unique_ptr<RoutingArchitecture>> archs;
+  archs.push_back(std::make_unique<DvArchitecture>());
+  archs.push_back(std::make_unique<LsArchitecture>());
+  archs.push_back(std::make_unique<EcmaArchitecture>());
+  archs.push_back(std::make_unique<IdrpArchitecture>());
+  archs.push_back(std::make_unique<LshhArchitecture>());
+  archs.push_back(std::make_unique<OrwgArchitecture>());
+  archs.push_back(std::make_unique<DvsrArchitecture>());
+  return archs;
+}
+
+}  // namespace idr

@@ -1,0 +1,233 @@
+// Concrete RoutingArchitecture adapters, one per protocol family -- the
+// executable rows of the paper's Table 1 plus the pre-policy baselines
+// of §3. Each adapter instantiates its protocol's nodes over the scenario
+// topology and maps the common harness queries (trace / state /
+// computations / header cost) onto the protocol's own structures.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "proto/dv/dv_node.hpp"
+#include "proto/dvsr/dvsr_node.hpp"
+#include "proto/ecma/ecma_node.hpp"
+#include "proto/egp/egp_node.hpp"
+#include "proto/idrp/idrp_node.hpp"
+#include "proto/ls/ls_node.hpp"
+#include "proto/lshh/lshh_node.hpp"
+#include "proto/orwg/orwg_node.hpp"
+
+namespace idr {
+
+// --- Pre-policy baselines (paper §3) ---
+
+class DvArchitecture final : public RoutingArchitecture {
+ public:
+  explicit DvArchitecture(DvConfig config = {.split_horizon = true})
+      : config_(config) {}
+  [[nodiscard]] std::string name() const override {
+    return config_.split_horizon ? "dv-rip" : "dv-plain";
+  }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kDistanceVector, Decision::kHopByHop,
+            PolicyExpression::kNone};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override { return 0; }
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 9;  // type + src + dst
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  DvConfig config_;
+  std::vector<DvNode*> nodes_;
+};
+
+class LsArchitecture final : public RoutingArchitecture {
+ public:
+  [[nodiscard]] std::string name() const override { return "ls-ospf"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kLinkState, Decision::kHopByHop,
+            PolicyExpression::kNone};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override;
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 10;  // type + src + dst + qos
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  std::vector<LsNode*> nodes_;
+};
+
+class EgpArchitecture final : public RoutingArchitecture {
+ public:
+  [[nodiscard]] std::string name() const override { return "egp"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kDistanceVector, Decision::kHopByHop,
+            PolicyExpression::kNone};
+  }
+  [[nodiscard]] bool applicable(const Topology& topo) const override;
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override { return 0; }
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 9;
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  std::vector<EgpNode*> nodes_;
+};
+
+// --- The paper's four detailed design points (§5.1-§5.4) ---
+
+// §5.1: distance vector, hop-by-hop, policy in topology (partial order).
+class EcmaArchitecture final : public RoutingArchitecture {
+ public:
+  [[nodiscard]] std::string name() const override { return "ecma"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kDistanceVector, Decision::kHopByHop,
+            PolicyExpression::kTopology};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override { return 0; }
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 11;  // type + src + dst + qos + gone-down marker
+  }
+  [[nodiscard]] const OrderResult& order_result() const noexcept {
+    return order_;
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  OrderResult order_;
+  std::vector<EcmaNode*> nodes_;
+};
+
+// §5.2: distance vector (path vector), hop-by-hop, explicit policy terms.
+class IdrpArchitecture final : public RoutingArchitecture {
+ public:
+  explicit IdrpArchitecture(IdrpConfig config = {}) : config_(config) {}
+  [[nodiscard]] std::string name() const override { return "idrp"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kDistanceVector, Decision::kHopByHop,
+            PolicyExpression::kPolicyTerms};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override { return 0; }
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 16;  // type + src + dst + qos + uci + hour + attr-class id
+  }
+  [[nodiscard]] const std::vector<IdrpNode*>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  IdrpConfig config_;
+  std::vector<IdrpNode*> nodes_;
+};
+
+// §5.3: link state, hop-by-hop, explicit policy terms.
+class LshhArchitecture final : public RoutingArchitecture {
+ public:
+  [[nodiscard]] std::string name() const override { return "ls-hbh"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kLinkState, Decision::kHopByHop,
+            PolicyExpression::kPolicyTerms};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override;
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 15;  // type + src + dst + qos + uci + hour
+  }
+  [[nodiscard]] const std::vector<LshhNode*>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  std::vector<LshhNode*> nodes_;
+};
+
+// §5.4: link state, source routing, explicit policy terms (ORWG/IDPR).
+class OrwgArchitecture final : public RoutingArchitecture {
+ public:
+  explicit OrwgArchitecture(OrwgConfig config = {}) : config_(config) {}
+  [[nodiscard]] std::string name() const override { return "orwg"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kLinkState, Decision::kSourceRouting,
+            PolicyExpression::kPolicyTerms};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override;
+  // Established PRs forward on an 8-byte handle, not the full route.
+  [[nodiscard]] std::size_t header_bytes(std::size_t) const override {
+    return 27;  // type + handle + src + seq + timestamp + length
+  }
+  [[nodiscard]] std::size_t setup_header_bytes(std::size_t path_len) const {
+    return 22 + 4 * path_len;  // setup carries the full policy route
+  }
+  [[nodiscard]] const std::vector<OrwgNode*>& nodes() const noexcept {
+    return nodes_;
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  OrwgConfig config_;
+  std::vector<OrwgNode*> nodes_;
+};
+
+// §5.5.2: distance vector + source routing hybrid.
+class DvsrArchitecture final : public RoutingArchitecture {
+ public:
+  explicit DvsrArchitecture(IdrpConfig config = {}) : config_(config) {}
+  [[nodiscard]] std::string name() const override { return "dv-sr"; }
+  [[nodiscard]] DesignPoint design_point() const override {
+    return {Algorithm::kDistanceVector, Decision::kSourceRouting,
+            PolicyExpression::kPolicyTerms};
+  }
+  [[nodiscard]] RouteTrace trace(const FlowSpec& flow) override;
+  [[nodiscard]] std::size_t state_entries() const override;
+  [[nodiscard]] std::uint64_t computations() const override { return 0; }
+  [[nodiscard]] std::size_t header_bytes(std::size_t path_len) const override {
+    return 15 + 4 * path_len;  // every packet carries the source route
+  }
+
+ protected:
+  void attach_nodes() override;
+
+ private:
+  IdrpConfig config_;
+  std::vector<DvsrNode*> nodes_;
+};
+
+// All seven architectures (EGP excluded: it is inapplicable on cyclic
+// topologies; instantiate it explicitly where a tree is guaranteed).
+std::vector<std::unique_ptr<RoutingArchitecture>> make_policy_architectures();
+
+}  // namespace idr

@@ -1,0 +1,85 @@
+#include "core/impact.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace idr {
+namespace {
+
+bool path_crosses(const std::vector<AdId>& path, AdId ad) {
+  return std::find(path.begin(), path.end(), ad) != path.end();
+}
+
+}  // namespace
+
+ImpactReport analyze_policy_change(const Topology& topo,
+                                   const PolicySet& current, AdId ad,
+                                   std::span<const PolicyTerm> proposed_terms,
+                                   std::span<const FlowSpec> flows) {
+  PolicySet proposed(topo.ad_count());
+  for (const Ad& each : topo.ads()) {
+    proposed.source_policy(each.id) = current.source_policy(each.id);
+    if (each.id == ad) continue;
+    for (const PolicyTerm& t : current.terms(each.id)) proposed.add_term(t);
+  }
+  for (PolicyTerm t : proposed_terms) {
+    t.owner = ad;  // proposals always belong to the changing AD
+    proposed.add_term(std::move(t));
+  }
+
+  const Oracle before(topo, current);
+  const Oracle after(topo, proposed);
+
+  ImpactReport report;
+  report.changed_ad = ad;
+  report.flows = flows.size();
+  for (const FlowSpec& flow : flows) {
+    FlowImpact impact;
+    impact.flow = flow;
+    const SynthesisResult rb = before.best_route(flow);
+    const SynthesisResult ra = after.best_route(flow);
+    report.expansions_before += rb.expansions;
+    report.expansions_after += ra.expansions;
+    impact.routable_before = rb.found();
+    impact.routable_after = ra.found();
+    if (rb.found()) {
+      impact.cost_before = rb.cost;
+      impact.crossed_ad_before = path_crosses(rb.path, ad);
+      if (impact.crossed_ad_before) ++report.transit_before;
+    }
+    if (ra.found()) {
+      impact.cost_after = ra.cost;
+      impact.crossed_ad_after = path_crosses(ra.path, ad);
+      if (impact.crossed_ad_after) ++report.transit_after;
+    }
+    if (impact.routable_before && !impact.routable_after) ++report.lost_route;
+    if (!impact.routable_before && impact.routable_after) {
+      ++report.gained_route;
+    }
+    if (impact.routable_before && impact.routable_after) {
+      if (impact.cost_after > impact.cost_before) ++report.cost_increased;
+      if (impact.cost_after < impact.cost_before) ++report.cost_decreased;
+    }
+    report.details.push_back(std::move(impact));
+  }
+  return report;
+}
+
+std::string ImpactReport::summary(const Topology& topo) const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "policy change at %s over %zu sampled flows:\n"
+      "  routes lost: %zu, gained: %zu\n"
+      "  cost increased: %zu, decreased: %zu\n"
+      "  transit flows crossing %s: %zu -> %zu\n"
+      "  oracle search expansions: %llu -> %llu\n",
+      topo.ad(changed_ad).name.c_str(), flows, lost_route, gained_route,
+      cost_increased, cost_decreased, topo.ad(changed_ad).name.c_str(),
+      transit_before, transit_after,
+      static_cast<unsigned long long>(expansions_before),
+      static_cast<unsigned long long>(expansions_after));
+  return buf;
+}
+
+}  // namespace idr

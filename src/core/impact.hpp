@@ -1,0 +1,63 @@
+// Policy impact analysis -- the network management tool the paper's
+// conclusion demands (§6): "it will be imperative for these
+// administrators to have available network management tools to assist
+// them in predicting the impact of their policies on the service
+// received from the routing architecture."
+//
+// Given the current internet (topology + policies) and a *proposed*
+// replacement of one AD's policy terms, the analyzer evaluates a flow
+// sample against the ground-truth oracle before and after and reports:
+// which flows lose their only legal route, which gain one, how best-route
+// costs shift, how much transit revenue-carrying traffic the AD itself
+// would attract or shed, and how route-synthesis effort changes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "policy/database.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct FlowImpact {
+  FlowSpec flow;
+  bool routable_before = false;
+  bool routable_after = false;
+  std::uint64_t cost_before = 0;  // valid when routable_before
+  std::uint64_t cost_after = 0;   // valid when routable_after
+  bool crossed_ad_before = false;  // best route crossed the changed AD
+  bool crossed_ad_after = false;
+};
+
+struct ImpactReport {
+  AdId changed_ad;
+  std::size_t flows = 0;
+  std::size_t lost_route = 0;    // routable before, not after
+  std::size_t gained_route = 0;  // not routable before, routable after
+  std::size_t cost_increased = 0;
+  std::size_t cost_decreased = 0;
+  // Transit load on the changed AD (flows whose best route crosses it).
+  std::size_t transit_before = 0;
+  std::size_t transit_after = 0;
+  // Route-synthesis effort (oracle search expansions, a proxy for the
+  // route-computation overhead the paper warns administrators about).
+  std::uint64_t expansions_before = 0;
+  std::uint64_t expansions_after = 0;
+  std::vector<FlowImpact> details;
+
+  [[nodiscard]] std::string summary(const Topology& topo) const;
+};
+
+// Evaluates the impact of replacing `ad`'s policy terms with
+// `proposed_terms` over the given flow sample. Neither input PolicySet is
+// modified; the proposal is applied to a copy.
+ImpactReport analyze_policy_change(const Topology& topo,
+                                   const PolicySet& current, AdId ad,
+                                   std::span<const PolicyTerm> proposed_terms,
+                                   std::span<const FlowSpec> flows);
+
+}  // namespace idr

@@ -1,0 +1,55 @@
+// Architecture evaluation against ground truth: for a scenario and a flow
+// sample, how often does each architecture deliver a route, is that route
+// actually legal under the real policies, how often does it miss a route
+// the oracle proves exists, and what does it pay in convergence traffic,
+// state and computation. These are the measured versions of the paper's
+// §5 comparative claims.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "core/oracle.hpp"
+
+namespace idr {
+
+struct ArchEvaluation {
+  std::string arch;
+  std::string design_point;
+  bool applicable = true;
+
+  std::size_t flows = 0;
+  std::size_t oracle_routes = 0;  // flows for which a legal route exists
+  std::size_t found = 0;          // architecture produced a path
+  std::size_t legal = 0;          // ...and it is legal under ground truth
+  std::size_t illegal = 0;        // produced a policy-violating/broken path
+  std::size_t looped = 0;         // forwarding looped
+  std::size_t missed = 0;         // legal route exists, none produced
+
+  // legal / oracle_routes: the paper's route-availability criterion.
+  [[nodiscard]] double availability() const noexcept {
+    return oracle_routes == 0
+               ? 1.0
+               : static_cast<double>(legal) /
+                     static_cast<double>(oracle_routes);
+  }
+  // Mean cost ratio vs the oracle's best legal route, over legal paths.
+  double mean_stretch = 0.0;
+
+  ConvergenceStats convergence;
+  std::size_t state = 0;
+  std::uint64_t computations = 0;
+  double mean_path_len = 0.0;
+  std::size_t header_bytes = 0;  // per data packet at the mean path length
+};
+
+// Builds the architecture over (topo, policies) if needed, traces every
+// flow, and scores against the oracle.
+ArchEvaluation evaluate_architecture(RoutingArchitecture& arch,
+                                     const Topology& topo,
+                                     const PolicySet& policies,
+                                     std::span<const FlowSpec> flows);
+
+}  // namespace idr

@@ -1,0 +1,34 @@
+#include "core/oracle.hpp"
+
+namespace idr {
+
+SynthesisOptions Oracle::options_for(const FlowSpec& flow,
+                                     std::uint64_t budget,
+                                     bool first_found) const {
+  const SourcePolicy& sp = policies_.source_policy(flow.src);
+  SynthesisOptions options;
+  options.max_hops = sp.max_hops;
+  options.avoid = sp.avoid;
+  options.minimize_cost = sp.prefer_min_cost;
+  options.expansion_budget = budget;
+  options.first_found = first_found;
+  return options;
+}
+
+SynthesisResult Oracle::best_route(const FlowSpec& flow,
+                                   std::uint64_t expansion_budget) const {
+  return synthesize_route(view_, flow,
+                          options_for(flow, expansion_budget, false));
+}
+
+RouteExistence Oracle::exists(const FlowSpec& flow,
+                              std::uint64_t expansion_budget) const {
+  const SynthesisResult result = synthesize_route(
+      view_, flow, options_for(flow, expansion_budget, true));
+  if (result.found()) return RouteExistence::kExists;
+  return result.outcome == SynthesisOutcome::kBudget
+             ? RouteExistence::kUnknown
+             : RouteExistence::kNone;
+}
+
+}  // namespace idr

@@ -1,0 +1,53 @@
+// Ground-truth legal-route oracle. Evaluating the paper's central claim
+// ("a link-state source-routing architecture lets the source discover a
+// valid route if one in fact exists, while hop-by-hop designs may not")
+// requires an arbiter of what routes exist. The oracle searches the real
+// topology and policy database exhaustively (within a generous expansion
+// budget) and reports existence and the best legal route, honoring the
+// source AD's own route-selection criteria.
+#pragma once
+
+#include "core/synthesis.hpp"
+#include "policy/database.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+enum class RouteExistence : std::uint8_t {
+  kExists = 0,
+  kNone = 1,
+  kUnknown = 2,  // search budget exhausted before an answer
+};
+
+class Oracle {
+ public:
+  Oracle(const Topology& topo, const PolicySet& policies)
+      : topo_(topo), policies_(policies), view_(topo, policies) {}
+
+  // Best legal route for the flow (min cost), honoring the source AD's
+  // avoid list and hop budget.
+  [[nodiscard]] SynthesisResult best_route(
+      const FlowSpec& flow,
+      std::uint64_t expansion_budget = 4'000'000) const;
+
+  [[nodiscard]] RouteExistence exists(
+      const FlowSpec& flow,
+      std::uint64_t expansion_budget = 4'000'000) const;
+
+  // Validates a concrete path against ground truth.
+  [[nodiscard]] bool is_legal(const FlowSpec& flow,
+                              std::span<const AdId> path) const {
+    return policies_.path_is_legal(topo_, flow, path);
+  }
+
+ private:
+  [[nodiscard]] SynthesisOptions options_for(const FlowSpec& flow,
+                                             std::uint64_t budget,
+                                             bool first_found) const;
+
+  const Topology& topo_;
+  const PolicySet& policies_;
+  GroundTruthView view_;
+};
+
+}  // namespace idr

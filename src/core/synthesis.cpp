@@ -1,0 +1,186 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+void GroundTruthView::for_each_neighbor(
+    AdId ad, const std::function<void(AdId, std::uint32_t)>& fn) const {
+  for (const Adjacency& adj : topo_.neighbors(ad)) {
+    const Link& l = topo_.link(adj.link);
+    if (!l.up) continue;
+    fn(adj.neighbor, l.metric);
+  }
+}
+
+std::optional<std::uint32_t> GroundTruthView::transit_cost(
+    AdId ad, const FlowSpec& flow, AdId prev, AdId next) const {
+  if (!topo_.can_transit(ad)) return std::nullopt;
+  return policies_.transit_cost(ad, flow, prev, next);
+}
+
+std::vector<std::uint32_t> distances_to(const SynthesisView& view, AdId dst) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> dist(view.ad_count(), kInf);
+  if (dst.v >= dist.size()) return dist;
+  dist[dst.v] = 0;
+  std::deque<AdId> frontier{dst};
+  while (!frontier.empty()) {
+    const AdId cur = frontier.front();
+    frontier.pop_front();
+    view.for_each_neighbor(cur, [&](AdId nbr, std::uint32_t) {
+      if (dist[nbr.v] != kInf) return;
+      dist[nbr.v] = dist[cur.v] + 1;
+      frontier.push_back(nbr);
+    });
+  }
+  return dist;
+}
+
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+class Searcher {
+ public:
+  Searcher(const SynthesisView& view, const FlowSpec& flow,
+           const SynthesisOptions& options)
+      : view_(view),
+        flow_(flow),
+        options_(options),
+        dist_to_dst_(distances_to(view, flow.dst)),
+        visited_(view.ad_count(), false) {
+    for (AdId ad : options_.avoid) {
+      if (ad.v < visited_.size()) visited_[ad.v] = true;  // never enter
+    }
+    // Avoid lists constrain transit only; endpoints are always allowed.
+    if (flow.src.v < visited_.size()) visited_[flow.src.v] = false;
+    if (flow.dst.v < visited_.size()) visited_[flow.dst.v] = false;
+  }
+
+  SynthesisResult run() {
+    if (flow_.src.v >= view_.ad_count() || flow_.dst.v >= view_.ad_count() ||
+        flow_.src == flow_.dst) {
+      return result_;
+    }
+    // An avoided source/destination is a contradiction only for transit;
+    // endpoints are always allowed.
+    visited_[flow_.src.v] = true;
+    path_.push_back(flow_.src);
+    dfs(flow_.src, kNoAd, 0);
+    if (result_.found()) {
+      result_.outcome = budget_hit_ ? SynthesisOutcome::kBudget
+                                    : SynthesisOutcome::kFound;
+    } else {
+      result_.outcome = budget_hit_ ? SynthesisOutcome::kBudget
+                                    : SynthesisOutcome::kNoRoute;
+    }
+    return result_;
+  }
+
+ private:
+  struct Child {
+    AdId ad;
+    std::uint64_t step_cost;
+    std::uint32_t heuristic;
+  };
+
+  void dfs(AdId cur, AdId prev, std::uint64_t cost) {
+    if (done_) return;
+    if (++result_.expansions > options_.expansion_budget) {
+      budget_hit_ = true;
+      done_ = true;
+      return;
+    }
+    if (cur == flow_.dst) {
+      if (!result_.found() || cost < result_.cost) {
+        result_.path = path_;
+        result_.cost = cost;
+        if (options_.first_found) done_ = true;
+      }
+      return;
+    }
+    if (path_.size() >= options_.max_hops) return;
+    // Reachability: a node the destination cannot be reached from (over
+    // live links, ignoring policy) is a dead end regardless of options.
+    if (dist_to_dst_[cur.v] == kInf) return;
+    // Admissible bound: every remaining hop costs at least 1.
+    if (options_.use_cost_bound && result_.found() &&
+        cost + (options_.use_distance_heuristic ? dist_to_dst_[cur.v] : 1) >=
+            result_.cost) {
+      return;
+    }
+
+    // Collect feasible extensions cur -> n. If cur is not the source it
+    // is a transit AD for this step and must have a permitting PT for
+    // (prev, n); the step cost includes that PT's cost.
+    std::vector<Child> children;
+    view_.for_each_neighbor(cur, [&](AdId n, std::uint32_t link_metric) {
+      if (visited_[n.v]) return;
+      if (dist_to_dst_[n.v] == kInf) return;
+      for (const auto& [x, y] : options_.avoid_links) {
+        if ((x == cur && y == n) || (x == n && y == cur)) return;
+      }
+      std::uint64_t step = link_metric;
+      if (cur != flow_.src) {
+        const auto pt_cost = view_.transit_cost(cur, flow_, prev, n);
+        if (!pt_cost) return;
+        step += options_.minimize_cost ? *pt_cost : 0;
+      }
+      if (!options_.minimize_cost) step = 1;  // hop counting
+      children.push_back(Child{n, step, dist_to_dst_[n.v]});
+    });
+    // Deterministic best-first child ordering: toward the destination,
+    // ties by id. Determinism is what lets all LSHH nodes agree. With
+    // the heuristic ablated, order by id alone (still deterministic).
+    if (options_.use_distance_heuristic) {
+      std::sort(children.begin(), children.end(),
+                [](const Child& a, const Child& b) {
+                  if (a.heuristic != b.heuristic) {
+                    return a.heuristic < b.heuristic;
+                  }
+                  if (a.step_cost != b.step_cost) {
+                    return a.step_cost < b.step_cost;
+                  }
+                  return a.ad < b.ad;
+                });
+    } else {
+      std::sort(children.begin(), children.end(),
+                [](const Child& a, const Child& b) { return a.ad < b.ad; });
+    }
+    for (const Child& child : children) {
+      if (done_) return;
+      visited_[child.ad.v] = true;
+      path_.push_back(child.ad);
+      dfs(child.ad, cur, cost + child.step_cost);
+      path_.pop_back();
+      visited_[child.ad.v] = false;
+    }
+  }
+
+  const SynthesisView& view_;
+  const FlowSpec& flow_;
+  const SynthesisOptions& options_;
+  std::vector<std::uint32_t> dist_to_dst_;
+  std::vector<bool> visited_;
+  std::vector<AdId> path_;
+  SynthesisResult result_;
+  bool budget_hit_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+SynthesisResult synthesize_route(const SynthesisView& view,
+                                 const FlowSpec& flow,
+                                 const SynthesisOptions& options) {
+  IDR_CHECK(options.max_hops >= 2);
+  Searcher searcher(view, flow, options);
+  return searcher.run();
+}
+
+}  // namespace idr

@@ -1,0 +1,133 @@
+#include "policy/database.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "topology/algos.hpp"
+#include "util/check.hpp"
+
+namespace idr {
+
+bool SourcePolicy::avoids(AdId ad) const noexcept {
+  return std::find(avoid.begin(), avoid.end(), ad) != avoid.end();
+}
+
+void PolicySet::resize(std::size_t ad_count) {
+  terms_.resize(ad_count);
+  source_policies_.resize(ad_count);
+}
+
+void PolicySet::add_term(PolicyTerm term) {
+  IDR_CHECK(term.owner.v < terms_.size());
+  auto& owned = terms_[term.owner.v];
+  const bool collides = std::any_of(
+      owned.begin(), owned.end(),
+      [&](const PolicyTerm& t) { return t.id == term.id; });
+  if (collides) {
+    std::uint32_t next_id = 0;
+    for (const PolicyTerm& t : owned) next_id = std::max(next_id, t.id + 1);
+    term.id = next_id;
+  }
+  owned.push_back(std::move(term));
+}
+
+void PolicySet::clear_terms(AdId owner) {
+  IDR_CHECK(owner.v < terms_.size());
+  terms_[owner.v].clear();
+}
+
+std::span<const PolicyTerm> PolicySet::terms(AdId owner) const {
+  IDR_CHECK(owner.v < terms_.size());
+  return terms_[owner.v];
+}
+
+std::size_t PolicySet::total_terms() const noexcept {
+  std::size_t n = 0;
+  for (const auto& owned : terms_) n += owned.size();
+  return n;
+}
+
+const SourcePolicy& PolicySet::source_policy(AdId ad) const {
+  IDR_CHECK(ad.v < source_policies_.size());
+  return source_policies_[ad.v];
+}
+
+SourcePolicy& PolicySet::source_policy(AdId ad) {
+  IDR_CHECK(ad.v < source_policies_.size());
+  return source_policies_[ad.v];
+}
+
+std::optional<std::uint32_t> PolicySet::transit_cost(AdId ad,
+                                                     const FlowSpec& flow,
+                                                     AdId prev,
+                                                     AdId next) const {
+  std::optional<std::uint32_t> best;
+  for (const PolicyTerm& t : terms(ad)) {
+    if (!t.permits(flow, prev, next)) continue;
+    if (!best || t.cost < *best) best = t.cost;
+  }
+  return best;
+}
+
+bool PolicySet::ad_permits_transit(const Topology& topo, AdId ad,
+                                   const FlowSpec& flow, AdId prev,
+                                   AdId next) const {
+  if (!topo.can_transit(ad)) return false;
+  return transit_cost(ad, flow, prev, next).has_value();
+}
+
+bool PolicySet::source_accepts(const FlowSpec& flow,
+                               std::span<const AdId> path) const {
+  const SourcePolicy& sp = source_policy(flow.src);
+  if (path.size() > sp.max_hops) return false;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (sp.avoids(path[i])) return false;
+  }
+  return true;
+}
+
+bool PolicySet::path_is_legal(const Topology& topo, const FlowSpec& flow,
+                              std::span<const AdId> path) const {
+  if (path.size() < 2) return path.size() == 1 && flow.src == flow.dst;
+  if (path.front() != flow.src || path.back() != flow.dst) return false;
+
+  // Loop-freedom at AD granularity.
+  std::unordered_set<std::uint32_t> seen;
+  for (const AdId& ad : path) {
+    if (!seen.insert(ad.v).second) return false;
+  }
+
+  // Physical connectivity over live links.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = topo.find_link(path[i], path[i + 1]);
+    if (!link || !topo.link(*link).up) return false;
+  }
+
+  // Every intermediate AD must permit the flow in context.
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    if (!ad_permits_transit(topo, path[i], flow, path[i - 1], path[i + 1])) {
+      return false;
+    }
+  }
+
+  return source_accepts(flow, path);
+}
+
+std::optional<std::uint64_t> PolicySet::path_cost(
+    const Topology& topo, const FlowSpec& flow,
+    std::span<const AdId> path) const {
+  if (!path_is_legal(topo, flow, path)) return std::nullopt;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = topo.find_link(path[i], path[i + 1]);
+    total += topo.link(*link).metric;
+  }
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    const auto cost =
+        transit_cost(path[i], flow, path[i - 1], path[i + 1]);
+    total += *cost;
+  }
+  return total;
+}
+
+}  // namespace idr

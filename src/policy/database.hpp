@@ -1,0 +1,89 @@
+// Policy databases: the full policy state of an internet.
+//
+// For each AD this holds (a) its transit Policy Terms -- the conditions
+// under which it will carry other ADs' traffic -- and (b) its source
+// route-selection criteria (paper §2.3: "policies of the source"), which
+// constrain the routes the AD itself is willing to use.
+//
+// The central predicate, path_is_legal(), defines ground truth for the
+// whole repository: a route is legal iff it is AD-loop-free, every
+// consecutive pair of ADs is joined by a live link, every *intermediate*
+// AD both has a transit-capable role and advertises a Policy Term
+// permitting the flow in context (previous AD, next AD), and the path
+// satisfies the source AD's route-selection criteria.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "policy/term.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+// Source route-selection criteria (applied only by the source itself;
+// unlike transit PTs these are never advertised -- paper §5.2 notes that
+// hop-by-hop designs give the source no way to assert them remotely).
+struct SourcePolicy {
+  std::vector<AdId> avoid;       // transit ADs this source refuses to cross
+  std::uint32_t max_hops = 32;   // maximum ADs in a path, inclusive
+  bool prefer_min_cost = true;   // route choice: min PT cost, else min hops
+
+  [[nodiscard]] bool avoids(AdId ad) const noexcept;
+};
+
+class PolicySet {
+ public:
+  PolicySet() = default;
+  explicit PolicySet(std::size_t ad_count) { resize(ad_count); }
+
+  void resize(std::size_t ad_count);
+  [[nodiscard]] std::size_t ad_count() const noexcept {
+    return terms_.size();
+  }
+
+  // Adds a term owned by term.owner; assigns a fresh per-owner id if the
+  // given id collides.
+  void add_term(PolicyTerm term);
+  void clear_terms(AdId owner);
+
+  [[nodiscard]] std::span<const PolicyTerm> terms(AdId owner) const;
+  [[nodiscard]] std::size_t total_terms() const noexcept;
+
+  [[nodiscard]] const SourcePolicy& source_policy(AdId ad) const;
+  SourcePolicy& source_policy(AdId ad);
+
+  // Cheapest PT of `ad` permitting `flow` to transit from `prev` to
+  // `next`; nullopt if none permits. Role is NOT checked here.
+  [[nodiscard]] std::optional<std::uint32_t> transit_cost(
+      AdId ad, const FlowSpec& flow, AdId prev, AdId next) const;
+
+  // True iff `ad` may carry `flow` as transit in context: role allows
+  // transit AND some PT permits.
+  [[nodiscard]] bool ad_permits_transit(const Topology& topo, AdId ad,
+                                        const FlowSpec& flow, AdId prev,
+                                        AdId next) const;
+
+  // Ground-truth route legality (see file comment). `path` must start at
+  // flow.src and end at flow.dst.
+  [[nodiscard]] bool path_is_legal(const Topology& topo, const FlowSpec& flow,
+                                   std::span<const AdId> path) const;
+
+  // Total cost of a legal path: sum over intermediate ADs of their
+  // cheapest permitting PT plus link metrics; nullopt if illegal.
+  [[nodiscard]] std::optional<std::uint64_t> path_cost(
+      const Topology& topo, const FlowSpec& flow,
+      std::span<const AdId> path) const;
+
+  // Source-side acceptability only (avoid list, hop budget).
+  [[nodiscard]] bool source_accepts(const FlowSpec& flow,
+                                    std::span<const AdId> path) const;
+
+ private:
+  std::vector<std::vector<PolicyTerm>> terms_;   // indexed by AdId
+  std::vector<SourcePolicy> source_policies_;    // indexed by AdId
+};
+
+}  // namespace idr

@@ -1,0 +1,376 @@
+#include "policy/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <vector>
+
+namespace idr {
+
+std::optional<AdId> find_ad_by_name(const Topology& topo,
+                                    std::string_view name) {
+  for (const Ad& ad : topo.ads()) {
+    if (ad.name == name) return ad.id;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// --- tokenizer-lite helpers ------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Splits a statement into whitespace-separated fields, keeping {...}
+// groups intact.
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    int depth = 0;
+    while (i < line.size() &&
+           (depth > 0 || !std::isspace(static_cast<unsigned char>(line[i])))) {
+      if (line[i] == '{') ++depth;
+      if (line[i] == '}') --depth;
+      ++i;
+    }
+    fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+struct LineParser {
+  const Topology& topo;
+  std::size_t line_no;
+  std::optional<DslError> error;
+
+  void fail(std::string message) {
+    if (!error) error = DslError{line_no, std::move(message)};
+  }
+
+  std::optional<AdId> ad(std::string_view name) {
+    const auto id = find_ad_by_name(topo, name);
+    if (!id) fail("unknown AD '" + std::string(name) + "'");
+    return id;
+  }
+
+  // value is either "*" or "{a,b,c}".
+  std::optional<AdSet> ad_set(std::string_view value) {
+    if (value == "*") return AdSet::any();
+    if (value.size() < 2 || value.front() != '{' || value.back() != '}') {
+      fail("expected '*' or '{...}', got '" + std::string(value) + "'");
+      return std::nullopt;
+    }
+    value = value.substr(1, value.size() - 2);
+    std::vector<AdId> members;
+    while (!value.empty()) {
+      const std::size_t comma = value.find(',');
+      const std::string_view item = trim(value.substr(0, comma));
+      if (!item.empty()) {
+        const auto id = ad(item);
+        if (!id) return std::nullopt;
+        members.push_back(*id);
+      }
+      if (comma == std::string_view::npos) break;
+      value.remove_prefix(comma + 1);
+    }
+    return AdSet::of(std::move(members));
+  }
+
+  std::optional<std::uint32_t> number(std::string_view value) {
+    std::uint32_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), out);
+    if (ec != std::errc() || ptr != value.data() + value.size()) {
+      fail("expected a number, got '" + std::string(value) + "'");
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  std::optional<std::uint8_t> qos_mask(std::string_view value) {
+    if (value == "*") return kAllQosMask;
+    if (value.size() < 2 || value.front() != '{' || value.back() != '}') {
+      fail("expected '*' or '{...}' qos list");
+      return std::nullopt;
+    }
+    value = value.substr(1, value.size() - 2);
+    std::uint8_t mask = 0;
+    while (!value.empty()) {
+      const std::size_t comma = value.find(',');
+      const std::string_view item = trim(value.substr(0, comma));
+      if (item == "default") {
+        mask |= qos_bit(Qos::kDefault);
+      } else if (item == "low-delay") {
+        mask |= qos_bit(Qos::kLowDelay);
+      } else if (item == "high-throughput") {
+        mask |= qos_bit(Qos::kHighThroughput);
+      } else if (item == "high-reliability") {
+        mask |= qos_bit(Qos::kHighReliability);
+      } else if (!item.empty()) {
+        fail("unknown qos class '" + std::string(item) + "'");
+        return std::nullopt;
+      }
+      if (comma == std::string_view::npos) break;
+      value.remove_prefix(comma + 1);
+    }
+    if (mask == 0) {
+      fail("empty qos list");
+      return std::nullopt;
+    }
+    return mask;
+  }
+
+  std::optional<std::uint8_t> uci_mask(std::string_view value) {
+    if (value == "*") return kAllUciMask;
+    if (value.size() < 2 || value.front() != '{' || value.back() != '}') {
+      fail("expected '*' or '{...}' uci list");
+      return std::nullopt;
+    }
+    value = value.substr(1, value.size() - 2);
+    std::uint8_t mask = 0;
+    while (!value.empty()) {
+      const std::size_t comma = value.find(',');
+      const std::string_view item = trim(value.substr(0, comma));
+      if (item == "research") {
+        mask |= uci_bit(UserClass::kResearch);
+      } else if (item == "commercial") {
+        mask |= uci_bit(UserClass::kCommercial);
+      } else if (item == "government") {
+        mask |= uci_bit(UserClass::kGovernment);
+      } else if (!item.empty()) {
+        fail("unknown user class '" + std::string(item) + "'");
+        return std::nullopt;
+      }
+      if (comma == std::string_view::npos) break;
+      value.remove_prefix(comma + 1);
+    }
+    if (mask == 0) {
+      fail("empty uci list");
+      return std::nullopt;
+    }
+    return mask;
+  }
+};
+
+}  // namespace
+
+DslResult parse_policies(const Topology& topo, std::string_view text) {
+  PolicySet policies(topo.ad_count());
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    LineParser p{topo, line_no, std::nullopt};
+    const auto fields = split_fields(line);
+    const std::string_view keyword = fields[0];
+
+    if (keyword == "term") {
+      PolicyTerm term;
+      bool have_owner = false;
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string_view field = fields[i];
+        const std::size_t eq = field.find('=');
+        if (eq == std::string_view::npos) {
+          p.fail("expected key=value, got '" + std::string(field) + "'");
+          break;
+        }
+        const std::string_view key = field.substr(0, eq);
+        const std::string_view value = field.substr(eq + 1);
+        if (key == "owner") {
+          if (const auto id = p.ad(value)) {
+            term.owner = *id;
+            have_owner = true;
+          }
+        } else if (key == "id") {
+          if (const auto n = p.number(value)) term.id = *n;
+        } else if (key == "src") {
+          if (const auto s = p.ad_set(value)) term.sources = *s;
+        } else if (key == "dst") {
+          if (const auto s = p.ad_set(value)) term.dests = *s;
+        } else if (key == "prev") {
+          if (const auto s = p.ad_set(value)) term.prev_hops = *s;
+        } else if (key == "next") {
+          if (const auto s = p.ad_set(value)) term.next_hops = *s;
+        } else if (key == "qos") {
+          if (const auto m = p.qos_mask(value)) term.qos_mask = *m;
+        } else if (key == "uci") {
+          if (const auto m = p.uci_mask(value)) term.uci_mask = *m;
+        } else if (key == "hours") {
+          const std::size_t dash = value.find('-');
+          if (dash == std::string_view::npos) {
+            p.fail("hours must be begin-end");
+          } else {
+            const auto begin = p.number(value.substr(0, dash));
+            const auto end = p.number(value.substr(dash + 1));
+            if (begin && end) {
+              if (*begin > 23 || *end > 23) {
+                p.fail("hours out of range 0-23");
+              } else {
+                term.hour_begin = static_cast<std::uint8_t>(*begin);
+                term.hour_end = static_cast<std::uint8_t>(*end);
+              }
+            }
+          }
+        } else if (key == "cost") {
+          if (const auto n = p.number(value)) term.cost = *n;
+        } else {
+          p.fail("unknown term attribute '" + std::string(key) + "'");
+        }
+        if (p.error) break;
+      }
+      if (!p.error && !have_owner) p.fail("term needs owner=<AD>");
+      if (p.error) return *p.error;
+      policies.add_term(std::move(term));
+    } else if (keyword == "source") {
+      if (fields.size() < 2) {
+        p.fail("source needs an AD name");
+        return *p.error;
+      }
+      const auto src = p.ad(fields[1]);
+      if (!src) return *p.error;
+      SourcePolicy& sp = policies.source_policy(*src);
+      for (std::size_t i = 2; i < fields.size(); ++i) {
+        const std::string_view field = fields[i];
+        const std::size_t eq = field.find('=');
+        if (eq == std::string_view::npos) {
+          p.fail("expected key=value, got '" + std::string(field) + "'");
+          break;
+        }
+        const std::string_view key = field.substr(0, eq);
+        const std::string_view value = field.substr(eq + 1);
+        if (key == "avoid") {
+          if (const auto s = p.ad_set(value)) {
+            sp.avoid.assign(s->members().begin(), s->members().end());
+          }
+        } else if (key == "max-hops") {
+          if (const auto n = p.number(value)) sp.max_hops = *n;
+        } else if (key == "prefer") {
+          if (value == "cost") {
+            sp.prefer_min_cost = true;
+          } else if (value == "hops") {
+            sp.prefer_min_cost = false;
+          } else {
+            p.fail("prefer must be cost|hops");
+          }
+        } else {
+          p.fail("unknown source attribute '" + std::string(key) + "'");
+        }
+        if (p.error) break;
+      }
+      if (p.error) return *p.error;
+    } else {
+      return DslError{line_no,
+                      "unknown statement '" + std::string(keyword) + "'"};
+    }
+  }
+  return policies;
+}
+
+namespace {
+
+std::string render_set(const Topology& topo, const AdSet& set) {
+  if (set.is_any()) return "*";
+  std::string out = "{";
+  for (std::size_t i = 0; i < set.members().size(); ++i) {
+    if (i) out += ",";
+    out += topo.ad(set.members()[i]).name;
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_qos(std::uint8_t mask) {
+  if (mask == kAllQosMask) return "*";
+  static const char* names[] = {"default", "low-delay", "high-throughput",
+                                "high-reliability"};
+  std::string out = "{";
+  bool first = true;
+  for (std::uint8_t q = 0; q < kQosCount; ++q) {
+    if ((mask & (1u << q)) == 0) continue;
+    if (!first) out += ",";
+    out += names[q];
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+std::string render_uci(std::uint8_t mask) {
+  if (mask == kAllUciMask) return "*";
+  static const char* names[] = {"research", "commercial", "government"};
+  std::string out = "{";
+  bool first = true;
+  for (std::uint8_t u = 0; u < kUserClassCount; ++u) {
+    if ((mask & (1u << u)) == 0) continue;
+    if (!first) out += ",";
+    out += names[u];
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string format_policies(const Topology& topo, const PolicySet& policies) {
+  std::string out;
+  for (const Ad& ad : topo.ads()) {
+    for (const PolicyTerm& t : policies.terms(ad.id)) {
+      out += "term owner=" + topo.ad(t.owner).name;
+      out += " id=" + std::to_string(t.id);
+      out += " src=" + render_set(topo, t.sources);
+      out += " dst=" + render_set(topo, t.dests);
+      out += " prev=" + render_set(topo, t.prev_hops);
+      out += " next=" + render_set(topo, t.next_hops);
+      out += " qos=" + render_qos(t.qos_mask);
+      out += " uci=" + render_uci(t.uci_mask);
+      out += " hours=" + std::to_string(t.hour_begin) + "-" +
+             std::to_string(t.hour_end);
+      out += " cost=" + std::to_string(t.cost);
+      out += "\n";
+    }
+  }
+  for (const Ad& ad : topo.ads()) {
+    const SourcePolicy& sp = policies.source_policy(ad.id);
+    const SourcePolicy defaults;
+    if (sp.avoid.empty() && sp.max_hops == defaults.max_hops &&
+        sp.prefer_min_cost == defaults.prefer_min_cost) {
+      continue;
+    }
+    out += "source " + ad.name;
+    if (!sp.avoid.empty()) {
+      out += " avoid=" + render_set(topo, AdSet::of(sp.avoid));
+    }
+    out += " max-hops=" + std::to_string(sp.max_hops);
+    out += " prefer=";
+    out += sp.prefer_min_cost ? "cost" : "hops";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace idr

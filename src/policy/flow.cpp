@@ -1,0 +1,34 @@
+#include "policy/flow.hpp"
+
+namespace idr {
+
+const char* to_string(Qos q) noexcept {
+  switch (q) {
+    case Qos::kDefault: return "default";
+    case Qos::kLowDelay: return "low-delay";
+    case Qos::kHighThroughput: return "high-throughput";
+    case Qos::kHighReliability: return "high-reliability";
+  }
+  return "?";
+}
+
+const char* to_string(UserClass u) noexcept {
+  switch (u) {
+    case UserClass::kResearch: return "research";
+    case UserClass::kCommercial: return "commercial";
+    case UserClass::kGovernment: return "government";
+  }
+  return "?";
+}
+
+std::string FlowSpec::describe(const Topology& topo) const {
+  std::string out = topo.ad(src).name + " -> " + topo.ad(dst).name;
+  out += " [qos=";
+  out += to_string(qos);
+  out += " uci=";
+  out += to_string(uci);
+  out += " hour=" + std::to_string(hour) + "]";
+  return out;
+}
+
+}  // namespace idr

@@ -1,0 +1,72 @@
+// Flow specifications (paper §2.3): the attributes on which source and
+// transit policies may discriminate -- source AD, destination AD, Quality
+// of Service, User Class Identifier (UCI), and time of day.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+// Quality of Service classes (paper §3 mentions IGP support for a small
+// number of QoS classes; we model four, matching OSPF-era TOS routing).
+enum class Qos : std::uint8_t {
+  kDefault = 0,
+  kLowDelay = 1,
+  kHighThroughput = 2,
+  kHighReliability = 3,
+};
+inline constexpr std::uint8_t kQosCount = 4;
+
+// User Class Identifier (paper §2.3, §5.1.1): the traffic-class attribute
+// underlying acceptable-use policies (e.g. the NSFNET research-only AUP).
+enum class UserClass : std::uint8_t {
+  kResearch = 0,
+  kCommercial = 1,
+  kGovernment = 2,
+};
+inline constexpr std::uint8_t kUserClassCount = 3;
+
+const char* to_string(Qos q) noexcept;
+const char* to_string(UserClass u) noexcept;
+
+// Everything a policy decision may depend on for one packet flow.
+struct FlowSpec {
+  AdId src;
+  AdId dst;
+  Qos qos = Qos::kDefault;
+  UserClass uci = UserClass::kResearch;
+  std::uint8_t hour = 12;  // local time of day, 0..23
+
+  [[nodiscard]] std::string describe(const Topology& topo) const;
+
+  friend bool operator==(const FlowSpec&, const FlowSpec&) = default;
+};
+
+// The policy-relevant equivalence class of a flow excluding its endpoints:
+// (QoS, UCI, hour bucket). Hop-by-hop architectures must disambiguate
+// packets at this granularity (plus source, for source-specific policy);
+// this key is what their FIBs are indexed by.
+struct TrafficClass {
+  Qos qos = Qos::kDefault;
+  UserClass uci = UserClass::kResearch;
+  std::uint8_t hour = 12;
+
+  friend bool operator==(const TrafficClass&, const TrafficClass&) = default;
+  [[nodiscard]] std::uint32_t index() const noexcept {
+    return (static_cast<std::uint32_t>(qos) * kUserClassCount +
+            static_cast<std::uint32_t>(uci)) *
+               24 +
+           hour;
+  }
+  static constexpr std::uint32_t kIndexCount =
+      static_cast<std::uint32_t>(kQosCount) * kUserClassCount * 24;
+};
+
+inline TrafficClass traffic_class_of(const FlowSpec& flow) noexcept {
+  return TrafficClass{flow.qos, flow.uci, flow.hour};
+}
+
+}  // namespace idr

@@ -1,0 +1,4 @@
+#include "proto/common/counters.hpp"
+
+// Counters is a plain aggregate; this translation unit exists so the
+// header has a home in the library and stays in the build graph.

@@ -1,0 +1,24 @@
+// Message and byte accounting. All overhead numbers reported by the
+// benchmarks come from these counters, fed by real encoded PDU sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace idr {
+
+struct Counters {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t msgs_delivered = 0;
+  std::uint64_t msgs_dropped = 0;  // sent over a down link
+
+  Counters& operator+=(const Counters& other) noexcept {
+    msgs_sent += other.msgs_sent;
+    bytes_sent += other.bytes_sent;
+    msgs_delivered += other.msgs_delivered;
+    msgs_dropped += other.msgs_dropped;
+    return *this;
+  }
+};
+
+}  // namespace idr

@@ -1,0 +1,3 @@
+#include "proto/common/node.hpp"
+
+// ProtoNode is header-only; this file anchors it in the build graph.

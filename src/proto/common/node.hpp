@@ -1,0 +1,41 @@
+// Shared base for protocol nodes: access to self/topology, neighbor
+// enumeration, and PDU send helpers. Every concrete protocol PDU begins
+// with a one-byte message type defined by that protocol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "topology/graph.hpp"
+#include "wire/codec.hpp"
+
+namespace idr {
+
+class ProtoNode : public Node {
+ protected:
+  [[nodiscard]] AdId self() const noexcept { return self_; }
+  [[nodiscard]] Network& net() noexcept { return *net_; }
+  [[nodiscard]] const Topology& topo() const noexcept { return net_->topo(); }
+
+  [[nodiscard]] std::vector<Adjacency> live_neighbors() const {
+    return net_->topo().live_neighbors(self_);
+  }
+
+  // Send an encoded PDU to an adjacent AD.
+  void send_pdu(AdId to, wire::Writer&& w) {
+    net_->send(self_, to, std::move(w).take());
+  }
+
+  // Send the same bytes to every live neighbor except `except`.
+  void send_to_neighbors(const std::vector<std::uint8_t>& bytes,
+                         AdId except = kNoAd) {
+    for (const Adjacency& adj : live_neighbors()) {
+      if (adj.neighbor == except) continue;
+      net_->send(self_, adj.neighbor, bytes);
+    }
+  }
+};
+
+}  // namespace idr

@@ -1,0 +1,36 @@
+// Distance vector + source routing hybrid (paper §5.5.2): "a protocol
+// like BGP in which the source uses the full AD path information it
+// receives in routing updates to create a source route."
+//
+// The control plane is IDRP's path vector with policy attributes; the
+// difference is at the source: instead of handing the packet to the
+// hop-by-hop FIB, the source chooses among its advertised candidate
+// paths, applies its own private route-selection criteria (which
+// hop-by-hop IDRP cannot honor remotely), and stamps the full AD path
+// into the packet. The paper's verdict -- "little advantage ... without
+// also using a link state scheme" -- is measurable here: the candidate
+// set is limited to what neighbors chose to advertise, so legal routes
+// invisible to the path vector stay unusable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "proto/idrp/idrp_node.hpp"
+
+namespace idr {
+
+class DvsrNode : public IdrpNode {
+ public:
+  DvsrNode(const PolicySet* policies, IdrpConfig config = {})
+      : IdrpNode(policies, config) {}
+
+  // Full AD-level source route for the flow: the best advertised
+  // candidate that permits the flow and satisfies this AD's own
+  // route-selection criteria (avoid list, hop budget). Includes self as
+  // the first element. nullopt if no advertised candidate qualifies.
+  [[nodiscard]] std::optional<std::vector<AdId>> source_route(
+      const FlowSpec& flow) const;
+};
+
+}  // namespace idr

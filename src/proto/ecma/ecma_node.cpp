@@ -1,0 +1,209 @@
+#include "proto/ecma/ecma_node.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+void EcmaNode::start() {
+  for (std::uint8_t q = 0; q < kQosCount; ++q) {
+    if ((config_.qos_mask & (1u << q)) == 0) continue;
+    Entry& e = rib_[key(self(), static_cast<Qos>(q))];
+    // The empty path is trivially down-only (and trivially valid).
+    e.best = Route{0, self(), true};
+    e.best_down = Route{0, self(), true};
+  }
+  broadcast();
+}
+
+bool EcmaNode::advertisable(AdId dst) const {
+  if (dst == self()) return true;
+  if (config_.stub) return false;
+  if (!config_.export_dsts.empty() && !config_.export_dsts.contains(dst.v)) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
+  // Both route shapes are advertised, marked with the types of links they
+  // traverse (paper §5.1.1: "routes described in distance vector updates
+  // are marked as to the types of links traversed"); the receiver applies
+  // the up/down usability rule for its own side of the link.
+  wire::Writer w;
+  w.u8(kMsgUpdate);
+  wire::Writer body;
+  std::uint16_t count = 0;
+  for (const auto& [k, entry] : rib_) {
+    const AdId dst{static_cast<std::uint32_t>(k >> 8)};
+    const auto qos = static_cast<std::uint8_t>(k & 0xff);
+    if (!advertisable(dst)) continue;
+    for (const Route* r : {&entry.best, &entry.best_down}) {
+      body.u32(dst.v);
+      body.u8(qos);
+      body.u8(r->down_only ? 1 : 0);
+      body.u16(r->valid(config_.infinity) ? r->metric : config_.infinity);
+      ++count;
+    }
+  }
+  w.u16(count);
+  w.raw(body.bytes());
+  return std::move(w).take();
+}
+
+void EcmaNode::broadcast() {
+  for (const Adjacency& adj : live_neighbors()) {
+    net().send(self(), adj.neighbor, encode_for(adj.neighbor));
+  }
+}
+
+void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  IDR_CHECK(r.u8() == kMsgUpdate);
+  const std::uint16_t count = r.u16();
+  // Link self -> from: "from is below us" means that link is a down link
+  // from our side, hence an up link from theirs.
+  const bool from_is_below = neighbor_is_below(from);
+
+  // Collect, per (dst, qos), the best usable candidate for each of our
+  // two slots before touching the RIB (a single neighbor now advertises
+  // up to two routes per key).
+  struct Candidates {
+    Route any{0xffff, kNoAd, false};
+    Route down{0xffff, kNoAd, false};
+    // Best metric the neighbor claims for this key regardless of shape
+    // (used by the help heuristic below).
+    std::uint16_t their_best = 0xffff;
+  };
+  std::map<std::uint64_t, Candidates> per_key;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const AdId dst{r.u32()};
+    const auto qos_raw = r.u8();
+    const bool adv_down_only = r.u8() != 0;
+    const std::uint16_t adv = r.u16();
+    if (!r.ok()) break;
+    if (dst == self()) continue;
+    if (qos_raw >= kQosCount) continue;
+    const auto qos = static_cast<Qos>(qos_raw);
+    if ((config_.qos_mask & qos_bit(qos)) == 0) continue;
+
+    Candidates& cand = per_key[key(dst, qos)];
+    cand.their_best = std::min(cand.their_best, adv);
+    // Up/down rule: reaching `from` over a down link means the remainder
+    // must be down-only.
+    const bool usable = !from_is_below || adv_down_only;
+    if (!usable || adv >= config_.infinity) continue;
+    const auto metric = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(adv + 1u, config_.infinity));
+    if (metric >= config_.infinity) continue;
+    // Our resulting route's shape.
+    const bool down_only = from_is_below && adv_down_only;
+    if (metric < cand.any.metric) cand.any = Route{metric, from, down_only};
+    if (down_only && metric < cand.down.metric) {
+      cand.down = Route{metric, from, true};
+    }
+  }
+  IDR_CHECK_MSG(r.ok(), "malformed ECMA update");
+
+  bool changed = false;
+  auto apply = [&](Route& slot, const Route& candidate) {
+    const bool qualifies = candidate.metric < config_.infinity;
+    if (slot.valid(config_.infinity) && slot.via == from) {
+      // Authoritative update from the current next hop.
+      const Route revised =
+          qualifies ? candidate : Route{config_.infinity, from, false};
+      if (revised.metric != slot.metric ||
+          revised.down_only != slot.down_only || revised.via != slot.via) {
+        slot = revised;
+        changed = true;
+      }
+    } else if (qualifies && candidate.metric < slot.metric) {
+      slot = candidate;
+      changed = true;
+    }
+  };
+  for (const auto& [k, cand] : per_key) {
+    Entry& entry = rib_[k];
+    apply(entry.best, cand.any);
+    apply(entry.best_down, cand.down);
+  }
+
+  if (changed) broadcast();
+
+  // Repair heuristic: if the neighbor explicitly advertised a route
+  // strictly worse than what we could offer it (+1 hop) -- typically a
+  // just-poisoned entry at infinity -- offer our table directly. This
+  // replaces RIP-style periodic refresh in the event-driven simulation.
+  // Keys absent from the neighbor's update are NOT treated as lagging
+  // (absence can be a stub/export filter); helping only on explicit
+  // regressions makes every help a strict improvement at the receiver,
+  // which bounds the exchange.
+  bool help = false;
+  for (const auto& [k, cand] : per_key) {
+    const AdId dst{static_cast<std::uint32_t>(k >> 8)};
+    if (dst == from) continue;
+    if (!advertisable(dst)) continue;
+    const auto it = rib_.find(k);
+    if (it == rib_.end()) continue;
+    // What `from` could use from us: any shape if they reach us over an
+    // up link (we are above them, i.e. from is below), else down-only.
+    const Route& offered =
+        from_is_below ? it->second.best : it->second.best_down;
+    if (!offered.valid(config_.infinity) || offered.via == from) continue;
+    if (offered.metric + 1u < cand.their_best) {
+      help = true;
+      break;
+    }
+  }
+  if (help) net().send(self(), from, encode_for(from));
+}
+
+void EcmaNode::on_link_change(AdId neighbor, bool up) {
+  if (up) {
+    broadcast();
+    return;
+  }
+  bool changed = false;
+  for (auto& [k, entry] : rib_) {
+    (void)k;
+    for (Route* slot : {&entry.best, &entry.best_down}) {
+      if (slot->valid(config_.infinity) && slot->via == neighbor &&
+          slot->via != self()) {
+        slot->metric = config_.infinity;
+        changed = true;
+      }
+    }
+  }
+  if (changed) broadcast();
+}
+
+std::optional<EcmaNode::Forwarding> EcmaNode::forward(AdId dst, Qos qos,
+                                                      bool gone_down) const {
+  const auto it = rib_.find(key(dst, qos));
+  if (it == rib_.end()) return std::nullopt;
+  const Route& r = gone_down ? it->second.best_down : it->second.best;
+  if (!r.valid(config_.infinity) || r.via == self()) return std::nullopt;
+  // Traversing a down link sets the packet's gone-down marker.
+  const bool link_is_down = neighbor_is_below(r.via);
+  return Forwarding{r.via, link_is_down};
+}
+
+std::uint16_t EcmaNode::distance(AdId dst, Qos qos) const {
+  const auto it = rib_.find(key(dst, qos));
+  if (it == rib_.end()) return config_.infinity;
+  return it->second.best.metric;
+}
+
+std::size_t EcmaNode::fib_entries() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [k, entry] : rib_) {
+    (void)k;
+    if (entry.best.valid(config_.infinity)) ++n;
+    if (entry.best_down.valid(config_.infinity)) ++n;
+  }
+  return n;
+}
+
+}  // namespace idr

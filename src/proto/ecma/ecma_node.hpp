@@ -1,0 +1,102 @@
+// ECMA/NIST inter-AD routing (paper §5.1.1): distance vector, hop-by-hop,
+// policy embedded in topology via the partial ordering's up/down rule.
+//
+// Mechanics implemented exactly as the paper describes:
+//  * every link is up or down per the global PartialOrder;
+//  * a route's shape must be up*down* (once down, never up again);
+//  * routing updates carry a "down-only" flag so neighbors can tell which
+//    routes remain usable after a down-link traversal;
+//  * each AD keeps, per (destination, QoS), its best valid route of any
+//    shape and its best down-only route -- the two FIBs hop-by-hop
+//    forwarding needs, because a packet that has traversed a down link may
+//    only follow down-only routes;
+//  * per-QoS FIBs; a neighbor that does not support a QoS gets an
+//    infinite metric for it;
+//  * destination-specific export filters (an AD may serve transit for a
+//    subset of destinations only).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "policy/flow.hpp"
+#include "policy/term.hpp"
+#include "proto/common/node.hpp"
+#include "proto/ecma/partial_order.hpp"
+
+namespace idr {
+
+struct EcmaConfig {
+  std::uint16_t infinity = 64;
+  std::uint8_t qos_mask = kAllQosMask;  // QoS classes this AD supports
+  // Destinations this AD will advertise transit for (empty = all).
+  std::unordered_set<std::uint32_t> export_dsts;
+  // Stub behaviour: advertise only own reachability (no transit routes).
+  bool stub = false;
+};
+
+class EcmaNode : public ProtoNode {
+ public:
+  // All nodes share one immutable PartialOrder (computed by the central
+  // authority before the protocol starts -- the paper's deployment model).
+  EcmaNode(const PartialOrder* order, EcmaConfig config)
+      : order_(order), config_(std::move(config)) {}
+
+  void start() override;
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
+  void on_link_change(AdId neighbor, bool up) override;
+
+  // Forwarding decision for a packet toward dst with the given QoS that
+  // has (or has not) already traversed a down link. Returns the neighbor
+  // to forward to and whether the packet's gone-down flag must be set.
+  struct Forwarding {
+    AdId via;
+    bool sets_gone_down;
+  };
+  [[nodiscard]] std::optional<Forwarding> forward(AdId dst, Qos qos,
+                                                  bool gone_down) const;
+
+  [[nodiscard]] std::uint16_t distance(AdId dst, Qos qos) const;
+  [[nodiscard]] std::size_t fib_entries() const noexcept;
+  [[nodiscard]] const PartialOrder& order() const noexcept { return *order_; }
+
+  static constexpr std::uint8_t kMsgUpdate = 1;
+
+ private:
+  struct Route {
+    std::uint16_t metric = 0xffff;
+    AdId via;
+    bool down_only = false;
+    [[nodiscard]] bool valid(std::uint16_t infinity) const noexcept {
+      return metric < infinity;
+    }
+  };
+  struct Entry {
+    Route best;       // best valid route of any shape (up*down*)
+    Route best_down;  // best route using down links only
+  };
+
+  [[nodiscard]] static std::uint64_t key(AdId dst, Qos qos) noexcept {
+    return (static_cast<std::uint64_t>(dst.v) << 8) |
+           static_cast<std::uint8_t>(qos);
+  }
+
+  void broadcast();
+  [[nodiscard]] bool advertisable(AdId dst) const;
+  [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
+  [[nodiscard]] bool neighbor_is_below(AdId neighbor) const {
+    // Link self -> neighbor is a down link from our perspective.
+    return !order_->is_up(self(), neighbor);
+  }
+
+  const PartialOrder* order_;
+  EcmaConfig config_;
+  std::unordered_map<std::uint64_t, Entry> rib_;
+  // Last advertised route per neighbor direction is recomputed on demand;
+  // full-table triggered updates keep the protocol simple and honest.
+};
+
+}  // namespace idr

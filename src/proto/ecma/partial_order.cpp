@@ -1,0 +1,115 @@
+#include "proto/ecma/partial_order.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+std::uint32_t PartialOrder::rank(AdId ad) const {
+  IDR_CHECK(ad.v < rank_.size());
+  return rank_[ad.v];
+}
+
+bool PartialOrder::is_up(AdId from, AdId to) const {
+  const std::uint32_t rf = rank(from);
+  const std::uint32_t rt = rank(to);
+  if (rt != rf) return rt < rf;
+  return to.v < from.v;  // deterministic tie-break keeps orientation acyclic
+}
+
+std::vector<OrderConstraint> structural_constraints(const Topology& topo) {
+  std::vector<OrderConstraint> constraints;
+  for (const Link& l : topo.links()) {
+    if (l.cls == LinkClass::kLateral) continue;  // peers; no constraint
+    const auto ca = static_cast<std::uint8_t>(topo.ad(l.a).cls);
+    const auto cb = static_cast<std::uint8_t>(topo.ad(l.b).cls);
+    if (ca == cb) continue;
+    const AdId above = ca < cb ? l.a : l.b;
+    const AdId below = ca < cb ? l.b : l.a;
+    constraints.push_back(OrderConstraint{above, below, /*structural=*/true});
+  }
+  return constraints;
+}
+
+namespace {
+
+// Attempts a layering. On success fills `ranks`. On failure returns the
+// index (into `constraints`) of a droppable (non-structural) constraint
+// participating in a cycle, or -1 if only structural constraints remain
+// in cycles.
+long try_layer(std::size_t ad_count,
+               const std::vector<OrderConstraint>& constraints,
+               std::vector<std::uint32_t>& ranks) {
+  // Kahn topological layering over the constraint graph.
+  std::vector<std::vector<std::uint32_t>> out(ad_count);  // above -> below
+  std::vector<std::uint32_t> indegree(ad_count, 0);
+  for (const OrderConstraint& c : constraints) {
+    out[c.above.v].push_back(c.below.v);
+    ++indegree[c.below.v];
+  }
+  ranks.assign(ad_count, 0);
+  std::deque<std::uint32_t> frontier;
+  for (std::uint32_t v = 0; v < ad_count; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  std::size_t placed = 0;
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    ++placed;
+    for (std::uint32_t v : out[u]) {
+      ranks[v] = std::max(ranks[v], ranks[u] + 1);
+      if (--indegree[v] == 0) frontier.push_back(v);
+    }
+  }
+  if (placed == ad_count) return -2;  // success
+  // Some ADs remain in a cycle (indegree > 0). Find a non-structural
+  // constraint between two such ADs to drop.
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    const OrderConstraint& c = constraints[i];
+    if (c.structural) continue;
+    if (indegree[c.below.v] > 0 && (indegree[c.above.v] > 0)) {
+      return static_cast<long>(i);
+    }
+  }
+  // Fall back: any non-structural constraint into the cyclic region.
+  for (std::size_t i = 0; i < constraints.size(); ++i) {
+    if (!constraints[i].structural && indegree[constraints[i].below.v] > 0) {
+      return static_cast<long>(i);
+    }
+  }
+  return -1;  // cycle made purely of structural constraints: unsatisfiable
+}
+
+}  // namespace
+
+OrderResult compute_partial_order(const Topology& topo,
+                                  std::vector<OrderConstraint> policy) {
+  OrderResult result;
+  std::vector<OrderConstraint> constraints = structural_constraints(topo);
+  constraints.insert(constraints.end(), policy.begin(), policy.end());
+
+  std::vector<std::uint32_t> ranks;
+  for (;;) {
+    const long outcome = try_layer(topo.ad_count(), constraints, ranks);
+    if (outcome == -2) {
+      result.order = PartialOrder{std::move(ranks)};
+      result.ok = true;
+      return result;
+    }
+    if (outcome == -1) {
+      result.ok = false;  // structural conflict: should not happen
+      return result;
+    }
+    // Negotiation round: the authority asks the offending AD to withdraw
+    // its constraint (paper: "negotiate with the ADs involved to revise
+    // their policies").
+    ++result.negotiation_rounds;
+    result.dropped.push_back(constraints[static_cast<std::size_t>(outcome)]);
+    constraints.erase(constraints.begin() + outcome);
+  }
+}
+
+}  // namespace idr

@@ -1,0 +1,71 @@
+// The ECMA/NIST partial ordering (paper §5.1.1).
+//
+// ECMA suppresses DV looping and count-to-infinity by imposing a global
+// partial ordering on ADs: every inter-AD link is labelled "up" or "down"
+// and once a packet traverses a down link it may never traverse another
+// up link. The ordering must be computed and maintained by a central
+// authority from the ADs' policy requirements; policies that cannot
+// coexist in a single ordering force negotiation (the paper's core
+// scalability objection). This module implements that authority:
+// structural constraints derived from the hierarchy plus AD-submitted
+// policy constraints, cycle (conflict) detection, and negotiation rounds
+// that drop conflicting policy constraints until an ordering exists.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+// "above must sit strictly higher than below in the ordering."
+struct OrderConstraint {
+  AdId above;
+  AdId below;
+  bool structural = false;  // derived from hierarchy (never negotiable)
+
+  friend bool operator==(const OrderConstraint&,
+                         const OrderConstraint&) = default;
+};
+
+class PartialOrder {
+ public:
+  PartialOrder() = default;
+  explicit PartialOrder(std::vector<std::uint32_t> ranks)
+      : rank_(std::move(ranks)) {}
+
+  [[nodiscard]] std::uint32_t rank(AdId ad) const;
+
+  // Direction of the link from `from` toward `to`. "Up" means toward a
+  // higher-ranked AD (numerically smaller rank). Equal ranks are broken
+  // by AD id so the induced orientation is a total order (acyclic).
+  [[nodiscard]] bool is_up(AdId from, AdId to) const;
+
+  [[nodiscard]] bool empty() const noexcept { return rank_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return rank_.size(); }
+
+ private:
+  std::vector<std::uint32_t> rank_;  // indexed by AdId; 0 = top
+};
+
+struct OrderResult {
+  PartialOrder order;
+  // Policy constraints that had to be dropped in negotiation because no
+  // single ordering could satisfy them all.
+  std::vector<OrderConstraint> dropped;
+  std::size_t negotiation_rounds = 0;
+  bool ok = false;  // false only if structural constraints conflict
+};
+
+// Structural constraints implied by the topology: across each hierarchical
+// or bypass link the AD of higher hierarchy class sits above the other.
+std::vector<OrderConstraint> structural_constraints(const Topology& topo);
+
+// Central-authority computation: layer the constraint graph (longest-path
+// ranks). If the constraints contain a cycle, drop one policy constraint
+// on the cycle per negotiation round and retry.
+OrderResult compute_partial_order(const Topology& topo,
+                                  std::vector<OrderConstraint> policy);
+
+}  // namespace idr

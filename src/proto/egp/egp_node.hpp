@@ -1,0 +1,59 @@
+// EGP baseline (paper §3, RFC 827 era): exchanges reachability across
+// ADs with a severe restriction -- the inter-AD graph must be acyclic.
+// egp_applicable() is the admission check; the Table-1 bench uses it to
+// show EGP cannot even be deployed on the paper's Figure-1 topology.
+// Within a tree, reachability propagation with per-neighbor exclusion
+// (exact split horizon on a tree) yields loop-free routes. EGP's "policy"
+// is limited to per-destination advertisement filters and neighbor metric
+// biasing (§3), both modeled here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "proto/common/node.hpp"
+
+namespace idr {
+
+// True iff EGP may run on this topology (no cycles among live links).
+bool egp_applicable(const Topology& topo);
+
+class EgpNode : public ProtoNode {
+ public:
+  void start() override;
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
+  void on_link_change(AdId neighbor, bool up) override;
+
+  // Reachability filter: only advertise these destinations to anyone
+  // (empty = advertise everything). This is EGP's "share part of your
+  // connectivity database" notion of policy.
+  void set_export_filter(std::unordered_set<std::uint32_t> allowed);
+
+  // Bias added to all routes learned from a neighbor (favoring /
+  // disfavoring particular transit ADs, §3).
+  void set_neighbor_bias(AdId neighbor, std::uint16_t bias);
+
+  [[nodiscard]] std::optional<AdId> next_hop(AdId dst) const;
+  [[nodiscard]] std::uint16_t distance(AdId dst) const;
+
+  static constexpr std::uint8_t kMsgReach = 1;
+  static constexpr std::uint16_t kInfinity = 0xffff;
+
+ private:
+  struct Route {
+    std::uint16_t metric = kInfinity;
+    AdId via;
+  };
+
+  void advertise();
+  [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
+
+  std::unordered_map<std::uint32_t, Route> routes_;
+  std::unordered_set<std::uint32_t> export_filter_;  // empty = all
+  std::unordered_map<std::uint32_t, std::uint16_t> neighbor_bias_;
+};
+
+}  // namespace idr

@@ -1,0 +1,334 @@
+#include "proto/idrp/idrp_node.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+
+std::uint32_t hour_window_mask(std::uint8_t begin, std::uint8_t end) noexcept {
+  std::uint32_t mask = 0;
+  for (std::uint8_t h = 0; h < 24; ++h) {
+    const bool in = begin <= end ? (h >= begin && h <= end)
+                                 : (h >= begin || h <= end);
+    if (in) mask |= 1u << h;
+  }
+  return mask;
+}
+
+namespace {
+
+AdSet intersect_sets(const AdSet& a, const AdSet& b) {
+  if (a.is_any()) return b;
+  if (b.is_any()) return a;
+  std::vector<AdId> out;
+  std::set_intersection(a.members().begin(), a.members().end(),
+                        b.members().begin(), b.members().end(),
+                        std::back_inserter(out));
+  return AdSet::of(std::move(out));
+}
+
+bool set_covers(const AdSet& outer, const AdSet& inner) {
+  if (outer.is_any()) return true;
+  if (inner.is_any()) return false;
+  return std::includes(outer.members().begin(), outer.members().end(),
+                       inner.members().begin(), inner.members().end());
+}
+
+}  // namespace
+
+bool RouteAttrs::permits(const FlowSpec& flow) const noexcept {
+  if ((qos_mask & qos_bit(flow.qos)) == 0) return false;
+  if ((uci_mask & uci_bit(flow.uci)) == 0) return false;
+  if ((hour_mask & (1u << flow.hour)) == 0) return false;
+  return sources.contains(flow.src);
+}
+
+bool RouteAttrs::covers(const RouteAttrs& other) const noexcept {
+  if (!set_covers(sources, other.sources)) return false;
+  if ((qos_mask & other.qos_mask) != other.qos_mask) return false;
+  if ((uci_mask & other.uci_mask) != other.uci_mask) return false;
+  if ((hour_mask & other.hour_mask) != other.hour_mask) return false;
+  return true;
+}
+
+bool RouteAttrs::usable() const noexcept {
+  if (qos_mask == 0 || uci_mask == 0 || hour_mask == 0) return false;
+  return sources.is_any() || !sources.members().empty();
+}
+
+void RouteAttrs::encode(wire::Writer& w) const {
+  sources.encode(w);
+  w.u8(qos_mask);
+  w.u8(uci_mask);
+  w.u32(hour_mask);
+  w.u32(cost);
+}
+
+RouteAttrs RouteAttrs::decode(wire::Reader& r) {
+  RouteAttrs a;
+  a.sources = AdSet::decode(r);
+  a.qos_mask = r.u8();
+  a.uci_mask = r.u8();
+  a.hour_mask = r.u32();
+  a.cost = r.u32();
+  return a;
+}
+
+void IdrpRoute::encode(wire::Writer& w) const {
+  w.u32(dst.v);
+  std::vector<std::uint32_t> raw;
+  raw.reserve(path.size());
+  for (AdId ad : path) raw.push_back(ad.v);
+  w.u32_list(raw);
+  attrs.encode(w);
+}
+
+std::optional<IdrpRoute> IdrpRoute::decode(wire::Reader& r) {
+  IdrpRoute route;
+  route.dst = AdId{r.u32()};
+  for (std::uint32_t v : r.u32_list()) route.path.push_back(AdId{v});
+  route.attrs = RouteAttrs::decode(r);
+  if (!r.ok()) return std::nullopt;
+  return route;
+}
+
+void IdrpNode::start() {
+  // Originate own reachability: an empty path means "this AD".
+  IdrpRoute origin;
+  origin.dst = self();
+  loc_rib_[self().v] = {origin};
+  advertise();
+}
+
+std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
+  wire::Writer w;
+  w.u8(kMsgUpdate);
+  wire::Writer body;
+  std::uint16_t count = 0;
+  const auto own_terms = policies_->terms(self());
+  for (const auto& [dst_v, routes] : loc_rib_) {
+    const AdId dst{dst_v};
+    std::uint32_t emitted_for_dst = 0;
+    for (const IdrpRoute& route : routes) {
+      if (emitted_for_dst >= config_.routes_per_dest) break;
+      // Sender-side loop suppression.
+      if (std::find(route.path.begin(), route.path.end(), neighbor) !=
+          route.path.end()) {
+        continue;
+      }
+      if (dst == self()) {
+        // Terminating traffic needs no transit PT.
+        IdrpRoute adv;
+        adv.dst = self();
+        adv.path = {self()};
+        adv.encode(body);
+        ++count;
+        ++emitted_for_dst;
+        continue;
+      }
+      // Transit: we may re-advertise only under our own Policy Terms that
+      // accept traffic arriving from `neighbor` and departing toward the
+      // route's next hop, bound for `dst`.
+      IDR_CHECK(!route.path.empty());
+      const AdId next = route.path.front();
+      for (const PolicyTerm& t : own_terms) {
+        if (emitted_for_dst >= config_.routes_per_dest) break;
+        if (!t.prev_hops.contains(neighbor)) continue;
+        if (!t.next_hops.contains(next)) continue;
+        if (!t.dests.contains(dst)) continue;
+        RouteAttrs attrs = route.attrs;
+        attrs.sources = intersect_sets(attrs.sources, t.sources);
+        attrs.qos_mask &= t.qos_mask;
+        attrs.uci_mask &= t.uci_mask;
+        attrs.hour_mask &= hour_window_mask(t.hour_begin, t.hour_end);
+        attrs.cost += t.cost;
+        if (!attrs.usable()) continue;
+        IdrpRoute adv;
+        adv.dst = dst;
+        adv.path.reserve(route.path.size() + 1);
+        adv.path.push_back(self());
+        adv.path.insert(adv.path.end(), route.path.begin(),
+                        route.path.end());
+        adv.attrs = std::move(attrs);
+        adv.encode(body);
+        ++count;
+        ++emitted_for_dst;
+      }
+    }
+  }
+  w.u16(count);
+  w.raw(body.bytes());
+  return std::move(w).take();
+}
+
+void IdrpNode::advertise() {
+  for (const Adjacency& adj : live_neighbors()) {
+    std::vector<std::uint8_t> update = encode_for(adj.neighbor);
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::uint8_t b : update) hash = (hash ^ b) * 0x100000001b3ULL;
+    auto [it, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
+    if (!inserted && it->second == hash) continue;  // nothing new for them
+    it->second = hash;
+    net().send(self(), adj.neighbor, std::move(update));
+  }
+}
+
+void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  IDR_CHECK(r.u8() == kMsgUpdate);
+  const std::uint16_t count = r.u16();
+  std::vector<IdrpRoute> received;
+  received.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    auto route = IdrpRoute::decode(r);
+    if (!route) break;
+    // Receiver-side validation: path must start at the sender, must not
+    // contain us (AD loop), and must serve at least one flow.
+    if (route->path.empty() || route->path.front() != from) continue;
+    if (std::find(route->path.begin(), route->path.end(), self()) !=
+        route->path.end()) {
+      continue;
+    }
+    if (route->dst == self()) continue;
+    if (!route->attrs.usable()) continue;
+    received.push_back(std::move(*route));
+  }
+  IDR_CHECK_MSG(r.ok(), "malformed IDRP update");
+  adj_rib_in_[from.v] = std::move(received);
+  reselect_and_maybe_advertise();
+}
+
+void IdrpNode::on_link_change(AdId neighbor, bool up) {
+  // The session state is void either way: a fresh neighbor must receive
+  // our full table even if it is byte-identical to the last one sent.
+  last_sent_hash_.erase(neighbor.v);
+  if (up) {
+    advertise();
+    return;
+  }
+  adj_rib_in_.erase(neighbor.v);
+  reselect_and_maybe_advertise();
+}
+
+void IdrpNode::reselect_and_maybe_advertise() {
+  // Rebuild loc-RIB from all adj-RIBs-in, keeping up to routes_per_dest
+  // policy-diverse routes per destination.
+  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> fresh;
+  IdrpRoute origin;
+  origin.dst = self();
+  fresh[self().v] = {origin};
+
+  std::unordered_map<std::uint32_t, std::vector<const IdrpRoute*>> candidates;
+  for (const auto& [nbr, routes] : adj_rib_in_) {
+    // Routes from unreachable neighbors are unusable.
+    const auto link = topo().find_link(self(), AdId{nbr});
+    if (!link || !topo().link(*link).up) continue;
+    for (const IdrpRoute& route : routes) {
+      candidates[route.dst.v].push_back(&route);
+    }
+  }
+  for (auto& [dst, cands] : candidates) {
+    std::sort(cands.begin(), cands.end(),
+              [](const IdrpRoute* a, const IdrpRoute* b) {
+                if (a->path.size() != b->path.size()) {
+                  return a->path.size() < b->path.size();
+                }
+                return a->attrs.cost < b->attrs.cost;
+              });
+    std::vector<IdrpRoute>& kept = fresh[dst];
+    for (const IdrpRoute* cand : cands) {
+      if (kept.size() >= config_.routes_per_dest) break;
+      const bool redundant = std::any_of(
+          kept.begin(), kept.end(), [&](const IdrpRoute& k) {
+            return k.attrs.covers(cand->attrs);
+          });
+      if (!redundant) kept.push_back(*cand);
+    }
+    if (kept.empty()) fresh.erase(dst);
+  }
+
+  loc_rib_ = std::move(fresh);
+  const std::uint64_t sig = rib_signature();
+  if (sig != last_advertised_signature_) {
+    last_advertised_signature_ = sig;
+    advertise();
+  }
+}
+
+std::uint64_t IdrpNode::rib_signature() const {
+  std::uint64_t acc = 0x9e3779b97f4a7c15ULL;
+  for (const auto& [dst, routes] : loc_rib_) {
+    std::uint64_t s = dst;
+    for (const IdrpRoute& route : routes) {
+      for (AdId ad : route.path) s = splitmix64(s) ^ ad.v;
+      s = splitmix64(s) ^ route.attrs.cost;
+      s = splitmix64(s) ^ route.attrs.qos_mask;
+      s = splitmix64(s) ^ route.attrs.uci_mask;
+      s = splitmix64(s) ^ route.attrs.hour_mask;
+      s = splitmix64(s) ^
+          (route.attrs.sources.is_any() ? 0xffffu
+                                        : route.attrs.sources.members().size());
+      for (AdId m : route.attrs.sources.members()) s = splitmix64(s) ^ m.v;
+    }
+    acc ^= splitmix64(s);  // order-independent combine across destinations
+  }
+  return acc;
+}
+
+std::optional<AdId> IdrpNode::forward(const FlowSpec& flow, AdId prev) const {
+  const auto it = loc_rib_.find(flow.dst.v);
+  if (it == loc_rib_.end()) return std::nullopt;
+  for (const IdrpRoute& route : it->second) {
+    if (route.path.empty()) continue;  // origin route (we are dst)
+    if (!route.attrs.permits(flow)) continue;
+    const auto link = topo().find_link(self(), route.path.front());
+    if (!link || !topo().link(*link).up) continue;
+    // Transit packets must additionally satisfy our own policy for the
+    // concrete (prev, next) transition they make through us.
+    if (self() != flow.src && prev.valid() &&
+        !policies_->transit_cost(self(), flow, prev, route.path.front())) {
+      continue;
+    }
+    return route.path.front();
+  }
+  return std::nullopt;
+}
+
+const IdrpRoute* IdrpNode::select(const FlowSpec& flow) const {
+  const auto it = loc_rib_.find(flow.dst.v);
+  if (it == loc_rib_.end()) return nullptr;
+  for (const IdrpRoute& route : it->second) {
+    if (route.path.empty()) continue;  // origin route (we are dst)
+    if (!route.attrs.permits(flow)) continue;
+    const auto link = topo().find_link(self(), route.path.front());
+    if (!link || !topo().link(*link).up) continue;
+    return &route;
+  }
+  return nullptr;
+}
+
+const std::vector<IdrpRoute>* IdrpNode::routes(AdId dst) const {
+  const auto it = loc_rib_.find(dst.v);
+  return it == loc_rib_.end() ? nullptr : &it->second;
+}
+
+std::size_t IdrpNode::loc_rib_routes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [dst, routes] : loc_rib_) n += routes.size();
+  return n;
+}
+
+std::size_t IdrpNode::adj_rib_routes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [nbr, routes] : adj_rib_in_) n += routes.size();
+  return n;
+}
+
+std::size_t IdrpNode::routes_for(AdId dst) const {
+  const auto it = loc_rib_.find(dst.v);
+  return it == loc_rib_.end() ? 0 : it->second.size();
+}
+
+}  // namespace idr

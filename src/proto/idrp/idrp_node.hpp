@@ -1,0 +1,127 @@
+// IDRP / BGP-2 style protocol (paper §5.2, §5.2.1): distance vector
+// (path vector) hop-by-hop routing with explicit policy attributes.
+//
+//  * Updates carry the full AD path; a receiver discards any route whose
+//    path already contains it (loop suppression without a partial order).
+//  * Updates carry policy attributes aggregated along the path: the set
+//    of source ADs permitted to use the route, permitted QoS/UCI classes,
+//    a time-of-day mask and accumulated cost. An AD re-advertising a
+//    route intersects these with its own Policy Terms, possibly yielding
+//    several differently-constrained routes per destination.
+//  * Each AD may keep and advertise multiple routes per destination
+//    (capped by routes_per_dest); the paper's scaling objection is that
+//    this cap must grow with policy granularity, which the
+//    policy-granularity bench measures.
+//  * Per-neighbor full-table updates with implicit withdrawal (a route
+//    absent from the latest update from a neighbor is gone).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/database.hpp"
+#include "policy/flow.hpp"
+#include "policy/term.hpp"
+#include "proto/common/node.hpp"
+
+namespace idr {
+
+// Hour-of-day bitmask helpers (bit h set = hour h permitted).
+constexpr std::uint32_t kAllHoursMask = 0x00ffffffu;
+std::uint32_t hour_window_mask(std::uint8_t begin, std::uint8_t end) noexcept;
+
+// Policy attributes of an advertised route, aggregated along the path.
+struct RouteAttrs {
+  AdSet sources;  // source ADs permitted to use the route
+  std::uint8_t qos_mask = kAllQosMask;
+  std::uint8_t uci_mask = kAllUciMask;
+  std::uint32_t hour_mask = kAllHoursMask;
+  std::uint32_t cost = 0;
+
+  [[nodiscard]] bool permits(const FlowSpec& flow) const noexcept;
+  // True iff `this` permits every flow `other` permits (and is therefore
+  // redundant if also no better in length/cost terms).
+  [[nodiscard]] bool covers(const RouteAttrs& other) const noexcept;
+  [[nodiscard]] bool usable() const noexcept;  // permits anything at all
+
+  void encode(wire::Writer& w) const;
+  static RouteAttrs decode(wire::Reader& r);
+
+  friend bool operator==(const RouteAttrs&, const RouteAttrs&) = default;
+};
+
+struct IdrpRoute {
+  AdId dst;
+  std::vector<AdId> path;  // next hop first, dst last; never contains self
+  RouteAttrs attrs;
+
+  void encode(wire::Writer& w) const;
+  static std::optional<IdrpRoute> decode(wire::Reader& r);
+};
+
+struct IdrpConfig {
+  // Max routes retained/advertised per destination (paper: must grow with
+  // policy granularity for sources to keep finding usable routes).
+  std::uint32_t routes_per_dest = 4;
+};
+
+class IdrpNode : public ProtoNode {
+ public:
+  // `policies` is the global PolicySet; each node reads ONLY its own
+  // terms from it (its configured import/export policy).
+  IdrpNode(const PolicySet* policies, IdrpConfig config = {})
+      : policies_(policies), config_(config) {}
+
+  void start() override;
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
+  void on_link_change(AdId neighbor, bool up) override;
+
+  // Forwarding: first selected route for dst whose attributes permit the
+  // flow, whose next hop is reachable and -- when we are a transit AD for
+  // this packet (`prev` is the adjacent AD it arrived from) -- for which
+  // one of our own Policy Terms permits the actual (prev, next) pair.
+  // Returns the next hop.
+  [[nodiscard]] std::optional<AdId> forward(const FlowSpec& flow,
+                                            AdId prev = kNoAd) const;
+
+  // The selected route a source would use for this flow (full path view,
+  // used by the DV+source-routing hybrid and by diagnostics).
+  [[nodiscard]] const IdrpRoute* select(const FlowSpec& flow) const;
+
+  // All selected routes for a destination (nullptr if none) -- used by
+  // the DV+source-routing hybrid, which picks among them at the source.
+  [[nodiscard]] const std::vector<IdrpRoute>* routes(AdId dst) const;
+
+  [[nodiscard]] std::size_t loc_rib_routes() const noexcept;
+  [[nodiscard]] std::size_t adj_rib_routes() const noexcept;
+  [[nodiscard]] std::size_t routes_for(AdId dst) const;
+
+  static constexpr std::uint8_t kMsgUpdate = 1;
+
+ protected:
+  [[nodiscard]] const PolicySet& policies() const noexcept {
+    return *policies_;
+  }
+
+ private:
+  void reselect_and_maybe_advertise();
+  void advertise();
+  [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
+  [[nodiscard]] std::uint64_t rib_signature() const;
+
+  const PolicySet* policies_;
+  IdrpConfig config_;
+  // adj-RIB-in: routes as received, per neighbor.
+  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> adj_rib_in_;
+  // loc-RIB: selected routes per destination.
+  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> loc_rib_;
+  std::uint64_t last_advertised_signature_ = 0;
+  // Per-neighbor hash of the last update actually sent; identical
+  // re-advertisements are suppressed (real path-vector implementations
+  // do the same, and it keeps triggered-update churn honest).
+  std::unordered_map<std::uint32_t, std::uint64_t> last_sent_hash_;
+};
+
+}  // namespace idr

@@ -1,0 +1,150 @@
+#include "proto/ls/ls_node.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+void Lsa::encode(wire::Writer& w) const {
+  w.u32(origin.v);
+  w.u32(seq);
+  w.u16(static_cast<std::uint16_t>(adjacencies.size()));
+  for (const LsAdjacency& adj : adjacencies) {
+    w.u32(adj.neighbor.v);
+    for (std::uint16_t m : adj.metric) w.u16(m);
+  }
+}
+
+std::optional<Lsa> Lsa::decode(wire::Reader& r) {
+  Lsa lsa;
+  lsa.origin = AdId{r.u32()};
+  lsa.seq = r.u32();
+  const std::uint16_t count = r.u16();
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+    LsAdjacency adj;
+    adj.neighbor = AdId{r.u32()};
+    for (auto& m : adj.metric) m = r.u16();
+    lsa.adjacencies.push_back(adj);
+  }
+  if (!r.ok()) return std::nullopt;
+  return lsa;
+}
+
+void LsNode::start() { originate_lsa(); }
+
+void LsNode::originate_lsa() {
+  Lsa lsa;
+  lsa.origin = self();
+  lsa.seq = ++my_seq_;
+  ++lsas_originated_;
+  for (const Adjacency& adj : live_neighbors()) {
+    LsAdjacency entry;
+    entry.neighbor = adj.neighbor;
+    const std::uint16_t base =
+        static_cast<std::uint16_t>(topo().link(adj.link).metric);
+    // Per-QoS metrics: the delay-sensitive class weights the link's delay,
+    // others use the administrative metric (a simple but honest model of
+    // OSPF TOS metrics).
+    for (std::size_t q = 0; q < kQosCount; ++q) entry.metric[q] = base;
+    entry.metric[static_cast<std::size_t>(Qos::kLowDelay)] =
+        static_cast<std::uint16_t>(
+            std::min(65535.0, topo().link(adj.link).delay_ms + 1.0));
+    lsa.adjacencies.push_back(entry);
+  }
+  lsdb_[self().v] = lsa;
+  dirty_ = true;
+  flood(lsa, kNoAd);
+}
+
+void LsNode::flood(const Lsa& lsa, AdId except) {
+  wire::Writer w;
+  w.u8(kMsgLsa);
+  lsa.encode(w);
+  send_to_neighbors(w.bytes(), except);
+}
+
+void LsNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  const std::uint8_t type = r.u8();
+  IDR_CHECK(type == kMsgLsa);
+  auto lsa = Lsa::decode(r);
+  IDR_CHECK_MSG(lsa.has_value(), "malformed LSA");
+  auto it = lsdb_.find(lsa->origin.v);
+  if (it != lsdb_.end() && it->second.seq >= lsa->seq) return;  // stale
+  lsdb_[lsa->origin.v] = *lsa;
+  dirty_ = true;
+  flood(*lsa, from);
+}
+
+void LsNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+  originate_lsa();
+}
+
+void LsNode::recompute(Qos qos) {
+  const auto q = static_cast<std::size_t>(qos);
+  next_hop_[q].clear();
+  ++spf_runs_;
+  // Dijkstra over the LSDB view. An edge is usable only if both endpoints
+  // advertise it (bidirectional check, as in OSPF).
+  std::unordered_map<std::uint32_t, std::uint64_t> dist;
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  using Entry = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[self().v] = 0;
+  heap.emplace(0, self().v);
+  auto advertises = [&](std::uint32_t from, std::uint32_t to,
+                        std::uint16_t& metric_out) {
+    const auto it = lsdb_.find(from);
+    if (it == lsdb_.end()) return false;
+    for (const LsAdjacency& adj : it->second.adjacencies) {
+      if (adj.neighbor.v == to) {
+        metric_out = adj.metric[q];
+        return true;
+      }
+    }
+    return false;
+  };
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    const auto it = lsdb_.find(u);
+    if (it == lsdb_.end()) continue;
+    for (const LsAdjacency& adj : it->second.adjacencies) {
+      std::uint16_t back_metric = 0;
+      if (!advertises(adj.neighbor.v, u, back_metric)) continue;
+      const std::uint64_t nd = d + adj.metric[q];
+      const auto dit = dist.find(adj.neighbor.v);
+      if (dit == dist.end() || nd < dit->second) {
+        dist[adj.neighbor.v] = nd;
+        parent[adj.neighbor.v] = u;
+        heap.emplace(nd, adj.neighbor.v);
+      }
+    }
+  }
+  for (const auto& [dst, d] : dist) {
+    (void)d;
+    if (dst == self().v) continue;
+    // Walk back to find the first hop from self.
+    std::uint32_t at = dst;
+    while (parent.contains(at) && parent[at] != self().v) at = parent[at];
+    if (parent.contains(at)) next_hop_[q][dst] = AdId{at};
+  }
+}
+
+std::optional<AdId> LsNode::next_hop(AdId dst, Qos qos) {
+  if (dirty_) {
+    for (std::uint8_t q = 0; q < kQosCount; ++q) {
+      recompute(static_cast<Qos>(q));
+    }
+    dirty_ = false;
+  }
+  const auto& table = next_hop_[static_cast<std::size_t>(qos)];
+  const auto it = table.find(dst.v);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace idr

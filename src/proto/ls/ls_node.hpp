@@ -1,0 +1,71 @@
+// Link-state IGP baseline (OSPF/IS-IS-like, paper §3): nodes flood link
+// state advertisements carrying one metric per QoS class and each node
+// repeats a Dijkstra computation per QoS over its LSDB. Demonstrates the
+// paper's observation that per-QoS replication is tolerable for a handful
+// of classes but is the mechanism that fails to scale to per-source policy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/flow.hpp"
+#include "proto/common/node.hpp"
+
+namespace idr {
+
+// One adjacency inside an LSA: neighbor plus a metric per QoS class.
+struct LsAdjacency {
+  AdId neighbor;
+  std::array<std::uint16_t, kQosCount> metric{};
+};
+
+struct Lsa {
+  AdId origin;
+  std::uint32_t seq = 0;
+  std::vector<LsAdjacency> adjacencies;
+
+  void encode(wire::Writer& w) const;
+  static std::optional<Lsa> decode(wire::Reader& r);
+};
+
+class LsNode : public ProtoNode {
+ public:
+  void start() override;
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
+  void on_link_change(AdId neighbor, bool up) override;
+
+  // Next hop toward dst for the given QoS; recomputes lazily after LSDB
+  // changes. nullopt if unreachable.
+  [[nodiscard]] std::optional<AdId> next_hop(AdId dst, Qos qos);
+
+  [[nodiscard]] std::size_t lsdb_size() const noexcept { return lsdb_.size(); }
+  [[nodiscard]] std::size_t fib_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& table : next_hop_) n += table.size();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t spf_runs() const noexcept { return spf_runs_; }
+  [[nodiscard]] std::uint64_t lsas_originated() const noexcept {
+    return lsas_originated_;
+  }
+
+  static constexpr std::uint8_t kMsgLsa = 1;
+
+ private:
+  void originate_lsa();
+  void flood(const Lsa& lsa, AdId except);
+  void recompute(Qos qos);
+
+  std::unordered_map<std::uint32_t, Lsa> lsdb_;  // origin -> newest LSA
+  std::uint32_t my_seq_ = 0;
+  bool dirty_ = true;
+  // next_hop_[qos][dst] -> via (kNoAd when unreachable).
+  std::array<std::unordered_map<std::uint32_t, AdId>, kQosCount> next_hop_;
+  std::uint64_t spf_runs_ = 0;
+  std::uint64_t lsas_originated_ = 0;
+};
+
+}  // namespace idr

@@ -1,0 +1,89 @@
+#include "proto/lshh/lshh_node.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+void LshhNode::start() { originate_lsa(); }
+
+void LshhNode::originate_lsa() {
+  PolicyLsa lsa;
+  lsa.origin = self();
+  lsa.seq = ++my_seq_;
+  for (const Adjacency& adj : live_neighbors()) {
+    lsa.adjacencies.push_back(
+        PolicyLsaAdjacency{adj.neighbor, topo().link(adj.link).metric});
+  }
+  const auto terms = policies_->terms(self());
+  lsa.terms.assign(terms.begin(), terms.end());
+  // Hop-by-hop consistency forces sources to publish their private
+  // route-selection criteria (paper §5.3).
+  const SourcePolicy& sp = policies_->source_policy(self());
+  lsa.has_source_policy = true;
+  lsa.avoid = sp.avoid;
+  lsa.max_hops = sp.max_hops;
+  lsa.prefer_min_cost = sp.prefer_min_cost;
+  lsdb_.insert(lsa);
+  flood_lsa(lsa, kNoAd);
+}
+
+void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
+  wire::Writer w;
+  w.u8(kMsgLsa);
+  lsa.encode(w);
+  send_to_neighbors(w.bytes(), except);
+}
+
+void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  IDR_CHECK(r.u8() == kMsgLsa);
+  auto lsa = PolicyLsa::decode(r);
+  IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA");
+  if (lsdb_.insert(*lsa)) flood_lsa(*lsa, from);
+}
+
+void LshhNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+  originate_lsa();
+}
+
+std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
+  const std::uint64_t key = cache_key(flow);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    if (it->second.db_version == lsdb_.version()) {
+      ++cache_hits_;
+      return it->second.next;
+    }
+    cache_.erase(it);
+  }
+
+  // Replicate the source's route computation: same database, same
+  // deterministic search, same (published) source selection criteria.
+  SynthesisOptions options;
+  if (const PolicyLsa* src_lsa = lsdb_.get(flow.src);
+      src_lsa && src_lsa->has_source_policy) {
+    options.avoid = src_lsa->avoid;
+    options.max_hops = src_lsa->max_hops;
+    options.minimize_cost = src_lsa->prefer_min_cost;
+  }
+  ++path_computations_;
+  const LsdbView view(lsdb_, topo().ad_count());
+  const SynthesisResult result = synthesize_route(view, flow, options);
+  total_expansions_ += result.expansions;
+
+  std::optional<AdId> next;
+  if (result.found()) {
+    const auto at =
+        std::find(result.path.begin(), result.path.end(), self());
+    if (at != result.path.end() && at + 1 != result.path.end()) {
+      next = *(at + 1);
+    }
+    // If we are not on the agreed path, the packet should never have
+    // reached us; drop (next stays nullopt).
+  }
+  cache_[key] = CacheEntry{next, lsdb_.version()};
+  return next;
+}
+
+}  // namespace idr

@@ -1,0 +1,84 @@
+// Link state + hop-by-hop + explicit policy terms (paper §5.3).
+//
+// Policy LSAs flood to every AD, so any AD *can* compute a legal route
+// for any (source, flow) -- but because forwarding is hop-by-hop, every
+// AD along the route must repeat the source's computation and reach the
+// identical answer. That imposes the two costs the paper identifies:
+//   1. per-source computation/state at transit ADs (a spanning tree per
+//      traffic source rather than one per destination), and
+//   2. sources must publish their route-selection criteria in their LSAs
+//      (otherwise other ADs cannot replicate their decision), giving up
+//      the privacy that source routing would preserve.
+// Both are measured by the policy-granularity bench. Consistency is
+// achieved by the deterministic shared synthesis procedure; during
+// database convergence, inconsistent answers (and hence transient loops
+// or drops) are possible and are counted by the convergence bench.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "policy/database.hpp"
+#include "proto/common/node.hpp"
+#include "proto/orwg/lsdb.hpp"
+
+namespace idr {
+
+class LshhNode : public ProtoNode {
+ public:
+  explicit LshhNode(const PolicySet* policies) : policies_(policies) {}
+
+  void start() override;
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
+  void on_link_change(AdId neighbor, bool up) override;
+
+  // Hop-by-hop forwarding decision for a packet of `flow` currently at
+  // this AD: recompute (or fetch from the per-flow cache) the globally
+  // agreed path for the flow and return our successor on it. nullopt if
+  // no legal route, or if this AD is not on the computed path (the
+  // inconsistency case -- the packet is dropped).
+  [[nodiscard]] std::optional<AdId> forward(const FlowSpec& flow);
+
+  [[nodiscard]] const PolicyLsdb& lsdb() const noexcept { return lsdb_; }
+  [[nodiscard]] std::uint64_t path_computations() const noexcept {
+    return path_computations_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept {
+    return cache_hits_;
+  }
+  [[nodiscard]] std::size_t cache_entries() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::uint64_t total_expansions() const noexcept {
+    return total_expansions_;
+  }
+
+  static constexpr std::uint8_t kMsgLsa = 1;
+
+ private:
+  struct CacheEntry {
+    std::optional<AdId> next;
+    std::uint64_t db_version = 0;
+  };
+
+  void originate_lsa();
+  void flood_lsa(const PolicyLsa& lsa, AdId except);
+  [[nodiscard]] static std::uint64_t cache_key(const FlowSpec& flow) noexcept {
+    // Source-specific key: hop-by-hop policy routing cannot collapse
+    // sources (the paper's state-blowup point).
+    return (static_cast<std::uint64_t>(flow.src.v) << 40) ^
+           (static_cast<std::uint64_t>(flow.dst.v) << 12) ^
+           traffic_class_of(flow).index();
+  }
+
+  const PolicySet* policies_;
+  PolicyLsdb lsdb_;
+  std::uint32_t my_seq_ = 0;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::uint64_t path_computations_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t total_expansions_ = 0;
+};
+
+}  // namespace idr

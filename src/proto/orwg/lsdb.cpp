@@ -1,0 +1,128 @@
+#include "proto/orwg/lsdb.hpp"
+
+namespace idr {
+
+void PolicyLsa::encode(wire::Writer& w) const {
+  w.u32(origin.v);
+  w.u32(seq);
+  w.u16(static_cast<std::uint16_t>(adjacencies.size()));
+  for (const PolicyLsaAdjacency& adj : adjacencies) {
+    w.u32(adj.neighbor.v);
+    w.u32(adj.metric);
+  }
+  w.u16(static_cast<std::uint16_t>(terms.size()));
+  for (const PolicyTerm& t : terms) t.encode(w);
+  w.u8(has_source_policy ? 1 : 0);
+  if (has_source_policy) {
+    std::vector<std::uint32_t> raw;
+    raw.reserve(avoid.size());
+    for (AdId ad : avoid) raw.push_back(ad.v);
+    w.u32_list(raw);
+    w.u32(max_hops);
+    w.u8(prefer_min_cost ? 1 : 0);
+  }
+  w.u64(auth);
+}
+
+std::optional<PolicyLsa> PolicyLsa::decode(wire::Reader& r) {
+  PolicyLsa lsa;
+  lsa.origin = AdId{r.u32()};
+  lsa.seq = r.u32();
+  const std::uint16_t adj_count = r.u16();
+  for (std::uint16_t i = 0; i < adj_count && r.ok(); ++i) {
+    PolicyLsaAdjacency adj;
+    adj.neighbor = AdId{r.u32()};
+    adj.metric = r.u32();
+    lsa.adjacencies.push_back(adj);
+  }
+  const std::uint16_t term_count = r.u16();
+  for (std::uint16_t i = 0; i < term_count && r.ok(); ++i) {
+    auto term = PolicyTerm::decode(r);
+    if (!term) return std::nullopt;
+    lsa.terms.push_back(std::move(*term));
+  }
+  lsa.has_source_policy = r.u8() != 0;
+  if (lsa.has_source_policy) {
+    for (std::uint32_t v : r.u32_list()) lsa.avoid.push_back(AdId{v});
+    lsa.max_hops = r.u32();
+    lsa.prefer_min_cost = r.u8() != 0;
+  }
+  lsa.auth = r.u64();
+  if (!r.ok()) return std::nullopt;
+  return lsa;
+}
+
+std::uint64_t lsa_auth_tag(const PolicyLsa& lsa, std::uint64_t key) {
+  PolicyLsa unsigned_copy = lsa;
+  unsigned_copy.auth = 0;
+  wire::Writer w;
+  unsigned_copy.encode(w);
+  std::uint64_t state = key ^ 0x5851f42d4c957f2dULL;
+  std::uint64_t tag = 0;
+  for (std::uint8_t b : w.bytes()) {
+    state ^= b;
+    tag ^= splitmix64(state);
+  }
+  // Never collide with the "unauthenticated" sentinel.
+  return tag == 0 ? 1 : tag;
+}
+
+std::size_t PolicyLsa::encoded_size() const {
+  wire::Writer w;
+  encode(w);
+  return w.size();
+}
+
+bool PolicyLsdb::insert(PolicyLsa lsa) {
+  auto it = lsas_.find(lsa.origin.v);
+  if (it != lsas_.end() && it->second.seq >= lsa.seq) return false;
+  lsas_[lsa.origin.v] = std::move(lsa);
+  ++version_;
+  return true;
+}
+
+const PolicyLsa* PolicyLsdb::get(AdId origin) const {
+  const auto it = lsas_.find(origin.v);
+  return it == lsas_.end() ? nullptr : &it->second;
+}
+
+std::size_t PolicyLsdb::total_terms() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [origin, lsa] : lsas_) n += lsa.terms.size();
+  return n;
+}
+
+void LsdbView::for_each_neighbor(
+    AdId ad, const std::function<void(AdId, std::uint32_t)>& fn) const {
+  const PolicyLsa* lsa = db_.get(ad);
+  if (!lsa) return;
+  for (const PolicyLsaAdjacency& adj : lsa->adjacencies) {
+    // Bidirectional check: the neighbor must advertise the link back.
+    const PolicyLsa* back = db_.get(adj.neighbor);
+    if (!back) continue;
+    bool confirmed = false;
+    for (const PolicyLsaAdjacency& rev : back->adjacencies) {
+      if (rev.neighbor == ad) {
+        confirmed = true;
+        break;
+      }
+    }
+    if (confirmed) fn(adj.neighbor, adj.metric);
+  }
+}
+
+std::optional<std::uint32_t> LsdbView::transit_cost(AdId ad,
+                                                    const FlowSpec& flow,
+                                                    AdId prev,
+                                                    AdId next) const {
+  const PolicyLsa* lsa = db_.get(ad);
+  if (!lsa) return std::nullopt;
+  std::optional<std::uint32_t> best;
+  for (const PolicyTerm& t : lsa->terms) {
+    if (!t.permits(flow, prev, next)) continue;
+    if (!best || t.cost < *best) best = t.cost;
+  }
+  return best;
+}
+
+}  // namespace idr

@@ -1,0 +1,101 @@
+// Policy link-state database shared by the two link-state policy
+// architectures (paper §5.3 LS hop-by-hop and §5.4 ORWG source routing).
+//
+// A Policy LSA is an AD's flooded advertisement: its live inter-AD
+// adjacencies (with metrics) and its transit Policy Terms. The LSHH
+// variant additionally publishes the origin's source route-selection
+// criteria -- the consistency price of hop-by-hop link state the paper
+// calls out in §5.3 (every AD must know the source's selection criteria
+// to replicate its decision); ORWG deliberately omits them, keeping
+// source policy private.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/synthesis.hpp"
+#include "util/prng.hpp"
+#include "policy/database.hpp"
+#include "policy/term.hpp"
+#include "topology/graph.hpp"
+#include "wire/codec.hpp"
+
+namespace idr {
+
+struct PolicyLsaAdjacency {
+  AdId neighbor;
+  std::uint32_t metric = 1;
+};
+
+struct PolicyLsa {
+  AdId origin;
+  std::uint32_t seq = 0;
+  std::vector<PolicyLsaAdjacency> adjacencies;
+  std::vector<PolicyTerm> terms;
+
+  // Published source route-selection criteria (LSHH only).
+  bool has_source_policy = false;
+  std::vector<AdId> avoid;
+  std::uint32_t max_hops = 32;
+  bool prefer_min_cost = true;
+
+  // Origin authentication tag (paper §2.3: "the level of assurance
+  // provided by the mechanisms will affect greatly the kind of policies
+  // that ADs express"; security itself is cited to Estrin & Tsudik).
+  // Zero when authentication is off. The tag is a toy MAC -- a keyed
+  // hash over the LSA content -- standing in for a real one; what we
+  // reproduce is the architectural effect, not the cryptography.
+  std::uint64_t auth = 0;
+
+  void encode(wire::Writer& w) const;
+  static std::optional<PolicyLsa> decode(wire::Reader& r);
+  [[nodiscard]] std::size_t encoded_size() const;
+};
+
+// Keyed tag over the LSA's content (auth field excluded).
+std::uint64_t lsa_auth_tag(const PolicyLsa& lsa, std::uint64_t key);
+
+class PolicyLsdb {
+ public:
+  // Inserts if newer than the stored LSA for the origin; returns whether
+  // the database changed (callers flood exactly when it did).
+  bool insert(PolicyLsa lsa);
+
+  [[nodiscard]] const PolicyLsa* get(AdId origin) const;
+  [[nodiscard]] std::size_t size() const noexcept { return lsas_.size(); }
+  [[nodiscard]] std::size_t total_terms() const noexcept;
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [origin, lsa] : lsas_) fn(lsa);
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, PolicyLsa> lsas_;
+  std::uint64_t version_ = 0;  // bumped on every accepted insert
+};
+
+// SynthesisView over a PolicyLsdb. A link is usable only if both
+// endpoints currently advertise it (bidirectional check); transit
+// permission comes from the advertised Policy Terms.
+class LsdbView final : public SynthesisView {
+ public:
+  explicit LsdbView(const PolicyLsdb& db, std::size_t ad_count)
+      : db_(db), ad_count_(ad_count) {}
+
+  [[nodiscard]] std::size_t ad_count() const override { return ad_count_; }
+  void for_each_neighbor(
+      AdId ad, const std::function<void(AdId, std::uint32_t)>& fn)
+      const override;
+  [[nodiscard]] std::optional<std::uint32_t> transit_cost(
+      AdId ad, const FlowSpec& flow, AdId prev, AdId next) const override;
+
+ private:
+  const PolicyLsdb& db_;
+  std::size_t ad_count_;
+};
+
+}  // namespace idr

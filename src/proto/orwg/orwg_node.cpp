@@ -1,0 +1,521 @@
+#include "proto/orwg/orwg_node.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace idr {
+namespace {
+
+void encode_flow(wire::Writer& w, const FlowSpec& flow) {
+  w.u32(flow.src.v);
+  w.u32(flow.dst.v);
+  w.u8(static_cast<std::uint8_t>(flow.qos));
+  w.u8(static_cast<std::uint8_t>(flow.uci));
+  w.u8(flow.hour);
+}
+
+FlowSpec decode_flow(wire::Reader& r) {
+  FlowSpec flow;
+  flow.src = AdId{r.u32()};
+  flow.dst = AdId{r.u32()};
+  flow.qos = static_cast<Qos>(r.u8());
+  flow.uci = static_cast<UserClass>(r.u8());
+  flow.hour = r.u8();
+  return flow;
+}
+
+void encode_path(wire::Writer& w, const std::vector<AdId>& path) {
+  std::vector<std::uint32_t> raw;
+  raw.reserve(path.size());
+  for (AdId ad : path) raw.push_back(ad.v);
+  w.u32_list(raw);
+}
+
+std::vector<AdId> decode_path(wire::Reader& r) {
+  std::vector<AdId> path;
+  for (std::uint32_t v : r.u32_list()) path.push_back(AdId{v});
+  return path;
+}
+
+}  // namespace
+
+void OrwgNode::start() {
+  gateway_ = std::make_unique<PolicyGateway>(self(), &topo(), policies_);
+  route_server_ = std::make_unique<RouteServer>(
+      self(), &lsdb_, topo().ad_count(), &policies_->source_policy(self()),
+      config_.route_server);
+  originate_lsa();
+}
+
+void OrwgNode::originate_lsa() {
+  PolicyLsa lsa;
+  lsa.origin = self();
+  lsa.seq = ++my_seq_;
+  for (const Adjacency& adj : live_neighbors()) {
+    lsa.adjacencies.push_back(
+        PolicyLsaAdjacency{adj.neighbor, topo().link(adj.link).metric});
+  }
+  const auto terms = policies_->terms(self());
+  lsa.terms.assign(terms.begin(), terms.end());
+  // Source route-selection criteria stay private (contrast LSHH).
+  if (config_.lsa_keys) {
+    lsa.auth = lsa_auth_tag(lsa, (*config_.lsa_keys)[self().v]);
+  }
+  lsdb_.insert(lsa);
+  flood_lsa(lsa, kNoAd);
+}
+
+void OrwgNode::accept_lsa(PolicyLsa lsa, AdId from) {
+  if (config_.lsa_keys) {
+    if (lsa.origin.v >= config_.lsa_keys->size() ||
+        lsa.auth != lsa_auth_tag(lsa, (*config_.lsa_keys)[lsa.origin.v])) {
+      ++lsas_rejected_auth_;
+      return;
+    }
+  }
+  if (lsdb_.insert(lsa)) flood_lsa(lsa, from);
+}
+
+void OrwgNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
+  if (config_.lsa_batch_ms <= 0.0) {
+    wire::Writer w;
+    w.u8(kMsgLsa);
+    lsa.encode(w);
+    send_to_neighbors(w.bytes(), except);
+    return;
+  }
+  pending_floods_.emplace_back(lsa, except);
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    net().engine().after(config_.lsa_batch_ms,
+                         [this] { flush_pending_floods(); });
+  }
+}
+
+void OrwgNode::flush_pending_floods() {
+  flush_scheduled_ = false;
+  const auto batch = std::move(pending_floods_);
+  pending_floods_.clear();
+  if (batch.empty()) return;
+  for (const Adjacency& adj : live_neighbors()) {
+    wire::Writer w;
+    w.u8(kMsgLsaBatch);
+    std::uint16_t count = 0;
+    wire::Writer body;
+    for (const auto& [lsa, except] : batch) {
+      if (except == adj.neighbor) continue;
+      lsa.encode(body);
+      ++count;
+    }
+    if (count == 0) continue;
+    w.u16(count);
+    w.raw(body.bytes());
+    send_pdu(adj.neighbor, std::move(w));
+  }
+}
+
+void OrwgNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+  originate_lsa();
+}
+
+// --- Policy Route establishment ---------------------------------------------
+
+bool OrwgNode::establish_pr(const FlowSpec& flow, PendingPr pending) {
+  const auto route = route_server_->route(flow);
+  if (!route) {
+    ++route_failures_;
+    return false;
+  }
+  const PrHandle handle{(static_cast<std::uint64_t>(self().v) << 32) |
+                        ++next_handle_};
+  const auto verdict =
+      gateway_->validate_and_install(handle, flow, route->path, 0);
+  IDR_CHECK(verdict == PolicyGateway::Verdict::kAccepted);
+  pending.flow = flow;
+  pending.path = route->path;
+  pending.setup_sent_at = net().engine().now();
+  pending_[handle.v] = std::move(pending);
+  transmit_setup(handle);
+  schedule_setup_retry(handle);
+  return true;
+}
+
+void OrwgNode::transmit_setup(PrHandle handle) {
+  const auto it = pending_.find(handle.v);
+  if (it == pending_.end()) return;
+  const PendingPr& pr = it->second;
+  wire::Writer w;
+  w.u8(kMsgSetup);
+  w.u64(handle.v);
+  encode_flow(w, pr.flow);
+  encode_path(w, pr.path);
+  w.u16(1);  // position of the receiving AD on the path
+  send_pdu(pr.path[1], std::move(w));
+}
+
+void OrwgNode::schedule_setup_retry(PrHandle handle) {
+  net().engine().after(config_.setup_retry_ms, [this, handle] {
+    const auto it = pending_.find(handle.v);
+    if (it == pending_.end()) return;  // acked or nakked meanwhile
+    if (++it->second.retries > config_.setup_max_retries) {
+      ++setup_timeouts_;
+      gateway_->remove(handle);
+      pending_.erase(it);
+      return;
+    }
+    transmit_setup(handle);
+    schedule_setup_retry(handle);
+  });
+}
+
+bool OrwgNode::send_flow(const FlowSpec& flow, std::uint32_t packets) {
+  IDR_CHECK(flow.src == self());
+  const std::uint64_t key = flow_key(flow);
+  if (const auto it = active_.find(key); it != active_.end()) {
+    send_data_packets(it->second, flow, packets);
+    return true;
+  }
+  if (const auto pit = std::find_if(
+          pending_.begin(), pending_.end(),
+          [&](const auto& kv) { return flow_key(kv.second.flow) == key; });
+      pit != pending_.end()) {
+    pit->second.packets_waiting += packets;
+    return true;
+  }
+  PendingPr pending;
+  pending.packets_waiting = packets;
+  return establish_pr(flow, std::move(pending));
+}
+
+bool OrwgNode::send_data(const FlowSpec& flow, std::uint32_t seq,
+                         std::vector<std::uint8_t> payload) {
+  IDR_CHECK(flow.src == self());
+  const std::uint64_t key = flow_key(flow);
+  if (const auto it = active_.find(key); it != active_.end()) {
+    send_one_data(it->second.path, it->second.handle, self(), seq, payload);
+    return true;
+  }
+  if (const auto pit = std::find_if(
+          pending_.begin(), pending_.end(),
+          [&](const auto& kv) { return flow_key(kv.second.flow) == key; });
+      pit != pending_.end()) {
+    pit->second.queued.emplace_back(seq, std::move(payload));
+    return true;
+  }
+  PendingPr pending;
+  pending.queued.emplace_back(seq, std::move(payload));
+  return establish_pr(flow, std::move(pending));
+}
+
+void OrwgNode::teardown(const FlowSpec& flow) {
+  const auto it = active_.find(flow_key(flow));
+  if (it == active_.end()) return;
+  const PrHandle handle = it->second.handle;
+  const std::vector<AdId> path = it->second.path;
+  active_.erase(it);
+  gateway_->remove(handle);
+  wire::Writer w;
+  w.u8(kMsgTeardown);
+  w.u64(handle.v);
+  send_pdu(path[1], std::move(w));
+}
+
+std::optional<std::vector<AdId>> OrwgNode::policy_route(
+    const FlowSpec& flow) {
+  const auto route = route_server_->route(flow);
+  if (!route) return std::nullopt;
+  return route->path;
+}
+
+void OrwgNode::precompute_all() {
+  std::vector<AdId> dests;
+  dests.reserve(topo().ad_count());
+  for (const Ad& ad : topo().ads()) dests.push_back(ad.id);
+  route_server_->precompute(dests);
+}
+
+// --- Data plane --------------------------------------------------------------
+
+void OrwgNode::send_one_data(const std::vector<AdId>& path, PrHandle handle,
+                             AdId claimed_src, std::uint32_t seq,
+                             std::span<const std::uint8_t> payload) {
+  wire::Writer w;
+  w.u8(kMsgData);
+  w.u64(handle.v);
+  w.u32(claimed_src.v);
+  w.u32(seq);
+  w.u64(std::bit_cast<std::uint64_t>(net().engine().now()));
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  net().send(self(), path[1], std::move(w).take());
+}
+
+void OrwgNode::send_data_packets(const ActivePr& pr, const FlowSpec& flow,
+                                 std::uint32_t packets) {
+  const std::vector<std::uint8_t> padding(config_.default_payload_bytes, 0);
+  for (std::uint32_t i = 0; i < packets; ++i) {
+    send_one_data(pr.path, pr.handle, flow.src, ++data_seq_, padding);
+  }
+}
+
+void OrwgNode::send_error(PrHandle handle, AdId to, AdId report_from,
+                          AdId dead_next) {
+  wire::Writer w;
+  w.u8(kMsgError);
+  w.u64(handle.v);
+  w.u32(report_from.v);
+  w.u32(dead_next.v);
+  send_pdu(to, std::move(w));
+}
+
+void OrwgNode::fail_active_pr(PrHandle handle, AdId report_from,
+                              AdId dead_next) {
+  ++pr_errors_;
+  gateway_->remove(handle);
+  const auto it =
+      std::find_if(active_.begin(), active_.end(), [&](const auto& kv) {
+        return kv.second.handle == handle;
+      });
+  if (it == active_.end()) return;
+  const FlowSpec flow = it->second.flow;
+  active_.erase(it);
+
+  // Fast repair (IDPR-style): the error names the dead link, which the
+  // flooded database may not reflect yet; resynthesize around it and set
+  // the replacement PR up immediately.
+  if (!report_from.valid() || !dead_next.valid()) return;
+  const std::pair<AdId, AdId> dead{report_from, dead_next};
+  const auto repaired = route_server_->route_avoiding(flow, {&dead, 1});
+  if (!repaired) return;
+  ++pr_repairs_;
+  const PrHandle fresh{(static_cast<std::uint64_t>(self().v) << 32) |
+                       ++next_handle_};
+  const auto verdict =
+      gateway_->validate_and_install(fresh, flow, repaired->path, 0);
+  IDR_CHECK(verdict == PolicyGateway::Verdict::kAccepted);
+  PendingPr pending;
+  pending.flow = flow;
+  pending.path = repaired->path;
+  pending.setup_sent_at = net().engine().now();
+  pending_[fresh.v] = std::move(pending);
+  transmit_setup(fresh);
+  schedule_setup_retry(fresh);
+}
+
+// --- Message dispatch ---------------------------------------------------------
+
+void OrwgNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  wire::Reader r(bytes);
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case kMsgLsa: {
+      auto lsa = PolicyLsa::decode(r);
+      IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA");
+      accept_lsa(std::move(*lsa), from);
+      break;
+    }
+    case kMsgLsaBatch: {
+      const std::uint16_t count = r.u16();
+      for (std::uint16_t i = 0; i < count; ++i) {
+        auto lsa = PolicyLsa::decode(r);
+        IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA in batch");
+        accept_lsa(std::move(*lsa), from);
+      }
+      IDR_CHECK_MSG(r.ok(), "malformed LSA batch");
+      break;
+    }
+    case kMsgSetup:
+      handle_setup(from, r);
+      break;
+    case kMsgData:
+      handle_data(from, r);
+      break;
+    case kMsgAck:
+      handle_ack(r);
+      break;
+    case kMsgNak:
+      handle_nak(r);
+      break;
+    case kMsgTeardown:
+      handle_teardown(r);
+      break;
+    case kMsgError:
+      handle_error(r);
+      break;
+    default:
+      IDR_CHECK_MSG(false, "unknown ORWG message type");
+  }
+}
+
+void OrwgNode::handle_setup(AdId from, wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  const FlowSpec flow = decode_flow(r);
+  const std::vector<AdId> path = decode_path(r);
+  const std::uint16_t position = r.u16();
+  IDR_CHECK_MSG(r.ok(), "malformed setup");
+
+  const auto verdict =
+      gateway_->validate_and_install(handle, flow, path, position);
+  if (verdict != PolicyGateway::Verdict::kAccepted) {
+    wire::Writer w;
+    w.u8(kMsgNak);
+    w.u64(handle.v);
+    w.u8(static_cast<std::uint8_t>(verdict));
+    send_pdu(from, std::move(w));
+    return;
+  }
+  if (position + 1u == path.size()) {
+    // We are the destination: confirm the PR back toward the source.
+    wire::Writer w;
+    w.u8(kMsgAck);
+    w.u64(handle.v);
+    send_pdu(from, std::move(w));
+    return;
+  }
+  wire::Writer w;
+  w.u8(kMsgSetup);
+  w.u64(handle.v);
+  encode_flow(w, flow);
+  encode_path(w, path);
+  w.u16(static_cast<std::uint16_t>(position + 1));
+  send_pdu(path[position + 1], std::move(w));
+}
+
+void OrwgNode::handle_ack(wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  IDR_CHECK_MSG(r.ok(), "malformed ack");
+  const SetupState* state = gateway_->peek(handle);
+  if (!state) return;  // PR vanished while the ack was in flight
+  if (state->prev.valid()) {
+    wire::Writer w;
+    w.u8(kMsgAck);
+    w.u64(handle.v);
+    send_pdu(state->prev, std::move(w));
+    return;
+  }
+  // We are the source: the PR is established.
+  const auto it = pending_.find(handle.v);
+  if (it == pending_.end()) return;  // duplicate ack (setup was retried)
+  PendingPr pr = std::move(it->second);
+  pending_.erase(it);
+  setup_latency_ms_.add(net().engine().now() - pr.setup_sent_at);
+  ActivePr active{handle, pr.flow, pr.path};
+  active_[flow_key(pr.flow)] = active;
+  if (pr.packets_waiting > 0) {
+    send_data_packets(active, pr.flow, pr.packets_waiting);
+  }
+  for (auto& [seq, payload] : pr.queued) {
+    send_one_data(active.path, handle, self(), seq, payload);
+  }
+}
+
+void OrwgNode::handle_nak(wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  const std::uint8_t reason = r.u8();
+  IDR_CHECK_MSG(r.ok(), "malformed nak");
+  const SetupState* state = gateway_->peek(handle);
+  if (!state) return;
+  const AdId prev = state->prev;
+  gateway_->remove(handle);
+  if (prev.valid()) {
+    wire::Writer w;
+    w.u8(kMsgNak);
+    w.u64(handle.v);
+    w.u8(reason);
+    send_pdu(prev, std::move(w));
+    return;
+  }
+  // We are the source: the setup failed downstream.
+  ++setup_naks_;
+  const auto it = pending_.find(handle.v);
+  if (it != pending_.end()) {
+    active_.erase(flow_key(it->second.flow));
+    pending_.erase(it);
+  }
+}
+
+void OrwgNode::handle_teardown(wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  IDR_CHECK_MSG(r.ok(), "malformed teardown");
+  const SetupState* state = gateway_->peek(handle);
+  if (!state) return;
+  const AdId next = state->next;
+  gateway_->remove(handle);
+  if (next.valid()) {
+    wire::Writer w;
+    w.u8(kMsgTeardown);
+    w.u64(handle.v);
+    send_pdu(next, std::move(w));
+  }
+}
+
+void OrwgNode::handle_error(wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  const AdId report_from{r.u32()};
+  const AdId dead_next{r.u32()};
+  IDR_CHECK_MSG(r.ok(), "malformed error");
+  const SetupState* state = gateway_->peek(handle);
+  if (!state) return;
+  const AdId prev = state->prev;
+  if (prev.valid()) {
+    gateway_->remove(handle);
+    send_error(handle, prev, report_from, dead_next);
+    return;
+  }
+  // We are the source: the PR broke mid-flow; repair it.
+  fail_active_pr(handle, report_from, dead_next);
+}
+
+void OrwgNode::handle_data(AdId from, wire::Reader& r) {
+  const PrHandle handle{r.u64()};
+  const AdId claimed_src{r.u32()};
+  const std::uint32_t seq = r.u32();
+  const auto sent_at = std::bit_cast<double>(r.u64());
+  const std::uint16_t payload_len = r.u16();
+  IDR_CHECK_MSG(r.ok(), "malformed data packet");
+
+  const SetupState* state =
+      gateway_->lookup(handle, from, claimed_src, payload_len);
+  if (!state) {
+    ++data_drops_;
+    return;
+  }
+  if (!state->next.valid()) {
+    ++delivered_;
+    delivery_latency_ms_.add(net().engine().now() - sent_at);
+    if (delivery_handler_) {
+      std::vector<std::uint8_t> payload(payload_len);
+      for (auto& b : payload) b = r.u8();
+      if (r.ok()) delivery_handler_(state->flow, seq, payload);
+    }
+    return;
+  }
+  wire::Writer w;
+  w.u8(kMsgData);
+  w.u64(handle.v);
+  w.u32(claimed_src.v);
+  w.u32(seq);
+  w.u64(std::bit_cast<std::uint64_t>(sent_at));
+  w.u16(payload_len);
+  std::vector<std::uint8_t> payload(payload_len);
+  for (auto& b : payload) b = r.u8();
+  IDR_CHECK_MSG(r.ok(), "truncated data payload");
+  w.raw(payload);
+  const AdId next = state->next;
+  if (!net().send(self(), next, std::move(w).take())) {
+    // The onward link is dead: report the broken PR -- including which
+    // link broke -- back to the source, which repairs by synthesizing a
+    // fresh policy route around it.
+    const AdId prev = state->prev;
+    if (prev.valid()) {
+      gateway_->remove(handle);
+      send_error(handle, prev, self(), next);
+    } else {
+      fail_active_pr(handle, self(), next);
+    }
+  }
+}
+
+}  // namespace idr

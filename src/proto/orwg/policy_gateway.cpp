@@ -1,0 +1,111 @@
+#include "proto/orwg/policy_gateway.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace idr {
+
+PolicyGateway::Verdict PolicyGateway::validate_and_install(
+    PrHandle handle, const FlowSpec& flow, const std::vector<AdId>& path,
+    std::size_t position) {
+  if (position >= path.size() || path[position] != self_) {
+    ++setups_rejected_;
+    return Verdict::kMalformedPath;
+  }
+  if (path.front() != flow.src || path.back() != flow.dst) {
+    ++setups_rejected_;
+    return Verdict::kMalformedPath;
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (const AdId& ad : path) {
+    if (!seen.insert(ad.v).second) {
+      ++setups_rejected_;
+      return Verdict::kMalformedPath;
+    }
+  }
+  const AdId prev = position == 0 ? kNoAd : path[position - 1];
+  const AdId next = position + 1 == path.size() ? kNoAd : path[position + 1];
+  // Endpoints carry their own traffic; intermediates must hold a
+  // permitting local Policy Term (checked against the AD's *own* policy
+  // database, not the flooded copy -- local policy is authoritative).
+  std::uint32_t unit_cost = 0;
+  if (position != 0 && position + 1 != path.size()) {
+    if (!topo_->can_transit(self_)) {
+      ++setups_rejected_;
+      return Verdict::kPolicyViolation;
+    }
+    const auto cost = policies_->transit_cost(self_, flow, prev, next);
+    if (!cost) {
+      ++setups_rejected_;
+      return Verdict::kPolicyViolation;
+    }
+    unit_cost = *cost;  // the admitting PT's price, charged per packet
+  }
+  cache_[handle.v] = SetupState{flow, prev, next, unit_cost, 0, 0};
+  ++setups_accepted_;
+  return Verdict::kAccepted;
+}
+
+const SetupState* PolicyGateway::lookup(PrHandle handle, AdId arrived_from,
+                                        AdId claimed_src,
+                                        std::size_t bytes) {
+  const auto it = cache_.find(handle.v);
+  if (it == cache_.end()) {
+    ++data_rejected_;
+    return nullptr;
+  }
+  SetupState& state = it->second;
+  if (state.prev != arrived_from || state.flow.src != claimed_src) {
+    ++data_rejected_;
+    return nullptr;
+  }
+  ++data_validated_;
+  state.packets += 1;
+  state.bytes += bytes;
+  return &state;
+}
+
+std::vector<PolicyGateway::Invoice> PolicyGateway::invoices() const {
+  std::unordered_map<std::uint32_t, Invoice> by_source;
+  for (const auto& [handle, state] : cache_) {
+    (void)handle;
+    if (state.unit_cost == 0 || state.packets == 0) continue;
+    Invoice& invoice = by_source[state.flow.src.v];
+    invoice.source = state.flow.src;
+    invoice.packets += state.packets;
+    invoice.bytes += state.bytes;
+    invoice.amount += state.packets * state.unit_cost;
+  }
+  std::vector<Invoice> out;
+  out.reserve(by_source.size());
+  for (auto& [src, invoice] : by_source) out.push_back(invoice);
+  std::sort(out.begin(), out.end(),
+            [](const Invoice& a, const Invoice& b) {
+              return a.source < b.source;
+            });
+  return out;
+}
+
+std::uint64_t PolicyGateway::total_revenue() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [handle, state] : cache_) {
+    (void)handle;
+    total += state.packets * state.unit_cost;
+  }
+  return total;
+}
+
+const SetupState* PolicyGateway::peek(PrHandle handle) const {
+  const auto it = cache_.find(handle.v);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void PolicyGateway::remove(PrHandle handle) { cache_.erase(handle.v); }
+
+std::size_t PolicyGateway::flush() {
+  const std::size_t n = cache_.size();
+  cache_.clear();
+  return n;
+}
+
+}  // namespace idr

@@ -1,0 +1,111 @@
+// ORWG Policy Gateway (paper §5.4.1): the border entity that validates
+// Policy Route setups against the AD's local Policy Terms and maintains
+// the handle cache -- "routing tables that are filled on demand".
+//
+// A setup packet carries the full policy route; the PG of each AD on the
+// path checks that the route conforms to the local policy terms, caches
+// the (handle -> prev/next/flow) binding and forwards the setup. Data
+// packets carry only the handle; the PG validates each against the cached
+// setup state (e.g. "is it coming from the AD specified in the cached PT
+// setup information") and forwards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "policy/database.hpp"
+#include "policy/flow.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct PrHandle {
+  std::uint64_t v = 0;
+  friend bool operator==(const PrHandle&, const PrHandle&) = default;
+};
+
+struct SetupState {
+  FlowSpec flow;
+  AdId prev;  // kNoAd at the source AD
+  AdId next;  // kNoAd at the destination AD
+  // Charging (paper §2.3 lists "charging and accounting policies"): the
+  // per-packet price of the cheapest Policy Term that admitted this PR,
+  // and the usage metered against it.
+  std::uint32_t unit_cost = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+};
+
+class PolicyGateway {
+ public:
+  PolicyGateway(AdId self, const Topology* topo, const PolicySet* policies)
+      : self_(self), topo_(topo), policies_(policies) {}
+
+  enum class Verdict : std::uint8_t {
+    kAccepted = 0,
+    kPolicyViolation = 1,  // no local PT permits the flow in context
+    kMalformedPath = 2,    // we are not on the path / path has a loop
+  };
+
+  // Validate a setup for `flow` along `path` where we sit at `position`,
+  // and install the handle on success.
+  Verdict validate_and_install(PrHandle handle, const FlowSpec& flow,
+                               const std::vector<AdId>& path,
+                               std::size_t position);
+
+  // Per-packet validation: the handle must be installed and the packet
+  // must arrive from the cached previous AD carrying the cached source.
+  // Validated packets are metered against the PR for accounting.
+  [[nodiscard]] const SetupState* lookup(PrHandle handle, AdId arrived_from,
+                                         AdId claimed_src,
+                                         std::size_t bytes = 0);
+
+  // Accounting roll-up: what each source AD owes this AD for validated
+  // transit usage (packets x admitting-PT cost).
+  struct Invoice {
+    AdId source;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t amount = 0;  // packets x unit_cost accumulated
+  };
+  [[nodiscard]] std::vector<Invoice> invoices() const;
+  [[nodiscard]] std::uint64_t total_revenue() const noexcept;
+
+  // Setup state by handle without per-packet validation (ack/nak routing).
+  [[nodiscard]] const SetupState* peek(PrHandle handle) const;
+
+  void remove(PrHandle handle);
+  // Drop all installed PRs (local policy changed; cached validations are
+  // void). Returns how many were dropped.
+  std::size_t flush();
+
+  [[nodiscard]] std::size_t installed() const noexcept {
+    return cache_.size();
+  }
+  [[nodiscard]] std::uint64_t setups_accepted() const noexcept {
+    return setups_accepted_;
+  }
+  [[nodiscard]] std::uint64_t setups_rejected() const noexcept {
+    return setups_rejected_;
+  }
+  [[nodiscard]] std::uint64_t data_validated() const noexcept {
+    return data_validated_;
+  }
+  [[nodiscard]] std::uint64_t data_rejected() const noexcept {
+    return data_rejected_;
+  }
+
+ private:
+  AdId self_;
+  const Topology* topo_;
+  const PolicySet* policies_;
+  std::unordered_map<std::uint64_t, SetupState> cache_;
+  std::uint64_t setups_accepted_ = 0;
+  std::uint64_t setups_rejected_ = 0;
+  std::uint64_t data_validated_ = 0;
+  std::uint64_t data_rejected_ = 0;
+};
+
+}  // namespace idr

@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+#include "util/check.hpp"
+
+namespace idr {
+
+void Engine::at(SimTime t, Callback fn) {
+  IDR_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle (std::function copy) and pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  IDR_CHECK_MSG(queue_.empty() || n < max_events,
+                "simulation exceeded max_events (runaway protocol?)");
+  return n;
+}
+
+std::size_t Engine::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    step();
+    ++n;
+  }
+  if (t > now_) now_ = t;
+  return n;
+}
+
+}  // namespace idr

@@ -1,0 +1,62 @@
+// Discrete-event simulation engine: a single-threaded event queue with a
+// simulated clock in milliseconds. Events scheduled for the same instant
+// run in scheduling order (FIFO via sequence numbers), which keeps every
+// experiment deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace idr {
+
+using SimTime = double;  // simulated milliseconds
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  // Schedule at an absolute simulated time (>= now).
+  void at(SimTime t, Callback fn);
+  // Schedule `delay` ms from now.
+  void after(SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  // Run the earliest pending event; false if the queue is empty.
+  bool step();
+
+  // Drain the queue. Returns events processed. `max_events` guards against
+  // runaway protocols (a protocol bug, not a simulation feature).
+  std::size_t run(std::size_t max_events = 50'000'000);
+
+  // Run events with time <= t, then advance the clock to t.
+  std::size_t run_until(SimTime t);
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace idr

@@ -1,0 +1,45 @@
+#include "sim/failure.hpp"
+
+namespace idr {
+
+void FailureInjector::fail_link_at(LinkId link, SimTime at_ms,
+                                   SimTime duration_ms) {
+  net_.engine().at(at_ms, [this, link] {
+    ++failures_;
+    net_.set_link_state(link, false);
+  });
+  if (duration_ms > 0.0) {
+    net_.engine().at(at_ms + duration_ms,
+                     [this, link] { net_.set_link_state(link, true); });
+  }
+}
+
+void FailureInjector::random_failures(Prng& prng, SimTime mean_uptime_ms,
+                                      SimTime mean_downtime_ms,
+                                      SimTime horizon_ms) {
+  for (const Link& l : net_.topo().links()) {
+    schedule_cycle(prng.fork(), l.id, net_.engine().now(), mean_uptime_ms,
+                   mean_downtime_ms, horizon_ms);
+  }
+}
+
+void FailureInjector::schedule_cycle(Prng prng, LinkId link, SimTime t,
+                                     SimTime mean_uptime_ms,
+                                     SimTime mean_downtime_ms,
+                                     SimTime horizon_ms) {
+  const SimTime fail_at = t + prng.exponential(mean_uptime_ms);
+  if (fail_at > horizon_ms) return;
+  const SimTime repair_at = fail_at + prng.exponential(mean_downtime_ms);
+  net_.engine().at(fail_at, [this, link] {
+    ++failures_;
+    net_.set_link_state(link, false);
+  });
+  if (repair_at <= horizon_ms) {
+    net_.engine().at(repair_at,
+                     [this, link] { net_.set_link_state(link, true); });
+    schedule_cycle(prng, link, repair_at, mean_uptime_ms, mean_downtime_ms,
+                   horizon_ms);
+  }
+}
+
+}  // namespace idr

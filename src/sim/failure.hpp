@@ -1,0 +1,42 @@
+// Failure injection (paper §2.2: inter-AD links fail; protocols must be
+// "somewhat adaptive" to inter-AD topology change). Schedules link
+// failures and repairs on the simulation clock, either scripted or drawn
+// from exponential inter-arrival/repair distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Network& net) : net_(net) {}
+
+  // Scripted: link goes down at `at_ms`; comes back `duration_ms` later
+  // (never, if duration_ms <= 0).
+  void fail_link_at(LinkId link, SimTime at_ms, SimTime duration_ms = 0.0);
+
+  // Random background failures: each live link independently fails with
+  // exponential inter-arrival `mean_uptime_ms` and repairs after
+  // exponential `mean_downtime_ms`, until `horizon_ms`.
+  void random_failures(Prng& prng, SimTime mean_uptime_ms,
+                       SimTime mean_downtime_ms, SimTime horizon_ms);
+
+  [[nodiscard]] std::size_t failures_injected() const noexcept {
+    return failures_;
+  }
+
+ private:
+  void schedule_cycle(Prng prng, LinkId link, SimTime t,
+                      SimTime mean_uptime_ms, SimTime mean_downtime_ms,
+                      SimTime horizon_ms);
+
+  Network& net_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace idr

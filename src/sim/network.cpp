@@ -1,0 +1,96 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+Network::Network(Engine& engine, Topology& topo)
+    : engine_(engine), topo_(topo) {
+  nodes_.resize(topo.ad_count());
+  counters_.resize(topo.ad_count());
+}
+
+void Network::attach(AdId ad, std::unique_ptr<Node> node) {
+  IDR_CHECK(ad.v < nodes_.size());
+  IDR_CHECK_MSG(!nodes_[ad.v], "node already attached to this AD");
+  node->net_ = this;
+  node->self_ = ad;
+  nodes_[ad.v] = std::move(node);
+}
+
+void Network::start_all() {
+  for (auto& node : nodes_) {
+    IDR_CHECK_MSG(node != nullptr, "every AD needs a node before start");
+  }
+  for (auto& node : nodes_) node->start();
+}
+
+Node* Network::node(AdId ad) {
+  IDR_CHECK(ad.v < nodes_.size());
+  return nodes_[ad.v].get();
+}
+
+const Counters& Network::counters(AdId ad) const {
+  IDR_CHECK(ad.v < counters_.size());
+  return counters_[ad.v];
+}
+
+void Network::reset_counters() {
+  for (Counters& c : counters_) c = Counters{};
+  total_ = Counters{};
+}
+
+bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
+  Counters& c = counters_[from.v];
+  c.msgs_sent += 1;
+  c.bytes_sent += bytes.size();
+  total_.msgs_sent += 1;
+  total_.bytes_sent += bytes.size();
+
+  const auto link = topo_.find_link(from, to);
+  if (!link || !topo_.link(*link).up) {
+    c.msgs_dropped += 1;
+    total_.msgs_dropped += 1;
+    return false;
+  }
+  const double delay =
+      topo_.link(*link).delay_ms +
+      per_byte_delay_ms_ * static_cast<double>(bytes.size());
+  engine_.after(delay, [this, from, to, link = *link,
+                        payload = std::move(bytes)]() {
+    // Link may have gone down while the message was in flight.
+    if (!topo_.link(link).up) {
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    if (loss_rate_ > 0.0 && loss_prng_.bernoulli(loss_rate_)) {
+      ++losses_;
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    counters_[to.v].msgs_delivered += 1;
+    total_.msgs_delivered += 1;
+    last_delivery_ = engine_.now();
+    nodes_[to.v]->on_message(from, payload);
+  });
+  return true;
+}
+
+void Network::set_loss(double rate, std::uint64_t seed) noexcept {
+  loss_rate_ = rate;
+  loss_prng_.reseed(seed);
+}
+
+void Network::set_link_state(LinkId link, bool up) {
+  const Link& l = topo_.link(link);
+  if (l.up == up) return;
+  topo_.set_link_up(link, up);
+  if (nodes_[l.a.v]) nodes_[l.a.v]->on_link_change(l.b, up);
+  if (nodes_[l.b.v]) nodes_[l.b.v]->on_link_change(l.a, up);
+}
+
+}  // namespace idr

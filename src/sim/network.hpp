@@ -1,0 +1,106 @@
+// The simulated inter-AD network: binds a Topology to per-AD protocol
+// nodes and delivers encoded messages between adjacent ADs with link
+// delay. Messages sent over a down link are dropped (counted). Link state
+// changes are delivered to both endpoint nodes as local events -- exactly
+// the information a real border gateway gets from its interface.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "proto/common/counters.hpp"
+#include "sim/engine.hpp"
+#include "topology/graph.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+
+class Network;
+
+// A protocol entity running inside one AD (the paper's Route Server /
+// policy gateway complex collapsed to one node per AD, matching the
+// AD-level abstraction of §4.1).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // The AD this node runs in (valid after attach).
+  [[nodiscard]] AdId id() const noexcept { return self_; }
+
+  // Called once after every AD's node is attached.
+  virtual void start() {}
+
+  // An encoded PDU arrived from adjacent AD `from`.
+  virtual void on_message(AdId from, std::span<const std::uint8_t> bytes) = 0;
+
+  // The link to adjacent AD `neighbor` changed state.
+  virtual void on_link_change(AdId neighbor, bool up) {
+    (void)neighbor;
+    (void)up;
+  }
+
+ protected:
+  friend class Network;
+  Network* net_ = nullptr;
+  AdId self_;
+};
+
+class Network {
+ public:
+  Network(Engine& engine, Topology& topo);
+
+  // Takes ownership; one node per AD, attached before start_all().
+  void attach(AdId ad, std::unique_ptr<Node> node);
+  void start_all();
+
+  // Send encoded bytes from `from` to adjacent `to`. Returns false (and
+  // counts a drop) if there is no live link. Delivery is delayed by the
+  // link's delay plus per-message transmission time.
+  bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes);
+
+  // Change a link's state and notify both endpoint nodes immediately.
+  void set_link_state(LinkId link, bool up);
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] Topology& topo() noexcept { return topo_; }
+  [[nodiscard]] const Topology& topo() const noexcept { return topo_; }
+  [[nodiscard]] Node* node(AdId ad);
+
+  [[nodiscard]] const Counters& counters(AdId ad) const;
+  [[nodiscard]] const Counters& total() const noexcept { return total_; }
+  // Simulated time of the most recent protocol message delivery; the
+  // convergence benchmarks read this after draining the event queue.
+  [[nodiscard]] SimTime last_delivery_time() const noexcept {
+    return last_delivery_;
+  }
+  void reset_counters();
+
+  // Bytes per kilobit-millisecond: serialization delay model. Messages
+  // are delayed by link delay + size * per_byte_delay_ms.
+  void set_per_byte_delay(double ms_per_byte) noexcept {
+    per_byte_delay_ms_ = ms_per_byte;
+  }
+
+  // Random in-flight loss: each delivery independently dropped with this
+  // probability (deterministic in the seed). Models the unreliable
+  // datagram service the paper assumes ("sequencing and reliability are
+  // left to the transport layer").
+  void set_loss(double rate, std::uint64_t seed) noexcept;
+  [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+
+ private:
+  Engine& engine_;
+  Topology& topo_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by AdId
+  std::vector<Counters> counters_;            // indexed by AdId
+  Counters total_;
+  SimTime last_delivery_ = 0.0;
+  double per_byte_delay_ms_ = 0.0;
+  double loss_rate_ = 0.0;
+  Prng loss_prng_{0};
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace idr

@@ -1,0 +1,216 @@
+#include "topology/algos.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace idr {
+namespace {
+
+constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace
+
+Components connected_components(const Topology& topo) {
+  Components result;
+  result.component_of.assign(topo.ad_count(), kUnreached);
+  for (std::uint32_t start = 0; start < topo.ad_count(); ++start) {
+    if (result.component_of[start] != kUnreached) continue;
+    const std::uint32_t comp = result.count++;
+    std::deque<AdId> frontier{AdId{start}};
+    result.component_of[start] = comp;
+    while (!frontier.empty()) {
+      const AdId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& adj : topo.neighbors(cur)) {
+        if (!topo.link(adj.link).up) continue;
+        if (result.component_of[adj.neighbor.v] != kUnreached) continue;
+        result.component_of[adj.neighbor.v] = comp;
+        frontier.push_back(adj.neighbor);
+      }
+    }
+  }
+  return result;
+}
+
+bool is_connected(const Topology& topo) {
+  if (topo.ad_count() == 0) return true;
+  return connected_components(topo).count == 1;
+}
+
+bool has_cycle(const Topology& topo) {
+  // Undirected cycle detection via BFS forest with parent links.
+  std::vector<std::uint32_t> parent(topo.ad_count(), kUnreached);
+  std::vector<bool> seen(topo.ad_count(), false);
+  for (std::uint32_t start = 0; start < topo.ad_count(); ++start) {
+    if (seen[start]) continue;
+    seen[start] = true;
+    std::deque<AdId> frontier{AdId{start}};
+    while (!frontier.empty()) {
+      const AdId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& adj : topo.neighbors(cur)) {
+        if (!topo.link(adj.link).up) continue;
+        if (!seen[adj.neighbor.v]) {
+          seen[adj.neighbor.v] = true;
+          parent[adj.neighbor.v] = cur.v;
+          frontier.push_back(adj.neighbor);
+        } else if (parent[cur.v] != adj.neighbor.v) {
+          return true;  // reached an already-seen AD that is not our parent
+        }
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<AdId>> shortest_path_hops(const Topology& topo,
+                                                    AdId src, AdId dst) {
+  IDR_CHECK(src.v < topo.ad_count() && dst.v < topo.ad_count());
+  std::vector<std::uint32_t> parent(topo.ad_count(), kUnreached);
+  std::vector<bool> seen(topo.ad_count(), false);
+  std::deque<AdId> frontier{src};
+  seen[src.v] = true;
+  while (!frontier.empty()) {
+    const AdId cur = frontier.front();
+    frontier.pop_front();
+    if (cur == dst) break;
+    for (const Adjacency& adj : topo.neighbors(cur)) {
+      if (!topo.link(adj.link).up || seen[adj.neighbor.v]) continue;
+      seen[adj.neighbor.v] = true;
+      parent[adj.neighbor.v] = cur.v;
+      frontier.push_back(adj.neighbor);
+    }
+  }
+  if (!seen[dst.v]) return std::nullopt;
+  std::vector<AdId> path;
+  for (std::uint32_t at = dst.v; at != kUnreached; at = parent[at]) {
+    path.push_back(AdId{at});
+    if (at == src.v) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<std::uint32_t> hop_distances(const Topology& topo, AdId src) {
+  std::vector<std::uint32_t> dist(topo.ad_count(), kUnreached);
+  dist[src.v] = 0;
+  std::deque<AdId> frontier{src};
+  while (!frontier.empty()) {
+    const AdId cur = frontier.front();
+    frontier.pop_front();
+    for (const Adjacency& adj : topo.neighbors(cur)) {
+      if (!topo.link(adj.link).up) continue;
+      if (dist[adj.neighbor.v] != kUnreached) continue;
+      dist[adj.neighbor.v] = dist[cur.v] + 1;
+      frontier.push_back(adj.neighbor);
+    }
+  }
+  return dist;
+}
+
+std::optional<MetricPath> shortest_path_metric(const Topology& topo, AdId src,
+                                               AdId dst) {
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dist(topo.ad_count(), kInf);
+  std::vector<std::uint32_t> parent(topo.ad_count(), kUnreached);
+  using Entry = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src.v] = 0;
+  heap.emplace(0, src.v);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    if (u == dst.v) break;
+    for (const Adjacency& adj : topo.neighbors(AdId{u})) {
+      const Link& l = topo.link(adj.link);
+      if (!l.up) continue;
+      const std::uint64_t nd = d + l.metric;
+      if (nd < dist[adj.neighbor.v]) {
+        dist[adj.neighbor.v] = nd;
+        parent[adj.neighbor.v] = u;
+        heap.emplace(nd, adj.neighbor.v);
+      }
+    }
+  }
+  if (dist[dst.v] == kInf) return std::nullopt;
+  MetricPath result;
+  result.cost = dist[dst.v];
+  for (std::uint32_t at = dst.v; at != kUnreached; at = parent[at]) {
+    result.path.push_back(AdId{at});
+    if (at == src.v) break;
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  return result;
+}
+
+std::uint32_t edge_disjoint_paths(const Topology& topo, AdId src, AdId dst) {
+  if (src == dst) return 0;
+  // Unit-capacity max flow by repeated BFS augmentation over an adjacency
+  // structure with removable edges.
+  std::unordered_set<std::uint32_t> removed;  // link ids consumed by paths
+  std::uint32_t count = 0;
+  for (;;) {
+    std::vector<std::uint32_t> parent_ad(topo.ad_count(), kUnreached);
+    std::vector<std::uint32_t> parent_link(topo.ad_count(), kUnreached);
+    std::vector<bool> seen(topo.ad_count(), false);
+    std::deque<AdId> frontier{src};
+    seen[src.v] = true;
+    while (!frontier.empty() && !seen[dst.v]) {
+      const AdId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& adj : topo.neighbors(cur)) {
+        if (!topo.link(adj.link).up || removed.contains(adj.link.v)) continue;
+        if (seen[adj.neighbor.v]) continue;
+        seen[adj.neighbor.v] = true;
+        parent_ad[adj.neighbor.v] = cur.v;
+        parent_link[adj.neighbor.v] = adj.link.v;
+        frontier.push_back(adj.neighbor);
+      }
+    }
+    if (!seen[dst.v]) break;
+    for (std::uint32_t at = dst.v; at != src.v; at = parent_ad[at]) {
+      removed.insert(parent_link[at]);
+    }
+    ++count;
+  }
+  return count;
+}
+
+DegreeStats degree_stats(const Topology& topo) {
+  DegreeStats stats;
+  if (topo.ad_count() == 0) return stats;
+  stats.min = std::numeric_limits<std::uint32_t>::max();
+  double total = 0.0;
+  for (const Ad& a : topo.ads()) {
+    const auto deg = static_cast<std::uint32_t>(topo.neighbors(a.id).size());
+    total += deg;
+    stats.min = std::min(stats.min, deg);
+    stats.max = std::max(stats.max, deg);
+  }
+  stats.mean = total / static_cast<double>(topo.ad_count());
+  return stats;
+}
+
+bool is_loop_free(const std::vector<AdId>& path) {
+  std::unordered_set<std::uint32_t> seen;
+  for (const AdId& ad : path) {
+    if (!seen.insert(ad.v).second) return false;
+  }
+  return true;
+}
+
+bool path_is_connected(const Topology& topo, const std::vector<AdId>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = topo.find_link(path[i], path[i + 1]);
+    if (!link || !topo.link(*link).up) return false;
+  }
+  return true;
+}
+
+}  // namespace idr

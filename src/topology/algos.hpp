@@ -1,0 +1,64 @@
+// Graph algorithms over the inter-AD topology: connectivity, cycles,
+// shortest paths (policy-free), and structural statistics. These are the
+// policy-free primitives; policy-constrained search lives in core/oracle
+// and proto/orwg/route_server.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+// Connected components over live links. Returns component index per AD
+// (size == ad_count()) and the number of components.
+struct Components {
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t count = 0;
+};
+Components connected_components(const Topology& topo);
+
+bool is_connected(const Topology& topo);
+
+// True iff the live inter-AD graph contains a cycle. EGP (paper §3)
+// requires an acyclic inter-AD graph; this is its admission check.
+bool has_cycle(const Topology& topo);
+
+// Hop-count shortest path over live links ignoring policy; empty if
+// unreachable. Returned path includes both endpoints.
+std::optional<std::vector<AdId>> shortest_path_hops(const Topology& topo,
+                                                    AdId src, AdId dst);
+
+// Hop distance matrix row: distance from src to every AD (UINT32_MAX if
+// unreachable), over live links.
+std::vector<std::uint32_t> hop_distances(const Topology& topo, AdId src);
+
+// Dijkstra over link metrics; returns total metric cost and path.
+struct MetricPath {
+  std::uint64_t cost = 0;
+  std::vector<AdId> path;
+};
+std::optional<MetricPath> shortest_path_metric(const Topology& topo, AdId src,
+                                               AdId dst);
+
+// Number of pairwise edge-disjoint paths between two ADs (via repeated
+// BFS path removal on a copy; exact max-flow with unit capacities).
+std::uint32_t edge_disjoint_paths(const Topology& topo, AdId src, AdId dst);
+
+// Structural statistics used by the Figure-1 bench.
+struct DegreeStats {
+  double mean = 0.0;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+};
+DegreeStats degree_stats(const Topology& topo);
+
+// A path is AD-loop-free iff no AD appears twice.
+bool is_loop_free(const std::vector<AdId>& path);
+
+// True iff consecutive path elements are joined by live links.
+bool path_is_connected(const Topology& topo, const std::vector<AdId>& path);
+
+}  // namespace idr

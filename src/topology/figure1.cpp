@@ -1,0 +1,63 @@
+#include "topology/figure1.hpp"
+
+#include "topology/algos.hpp"
+#include "util/check.hpp"
+
+namespace idr {
+
+Figure1 build_figure1() {
+  Figure1 fig;
+  Topology& t = fig.topo;
+
+  fig.backbone_west = t.add_ad(AdClass::kBackbone, AdRole::kTransit, "BB-West");
+  fig.backbone_east = t.add_ad(AdClass::kBackbone, AdRole::kTransit, "BB-East");
+  t.add_link(fig.backbone_west, fig.backbone_east, LinkClass::kHierarchical,
+             25.0);
+
+  const char* regional_names[4] = {"Reg-0", "Reg-1", "Reg-2", "Reg-3"};
+  for (int r = 0; r < 4; ++r) {
+    fig.regional[r] =
+        t.add_ad(AdClass::kRegional, AdRole::kTransit, regional_names[r]);
+    const AdId parent = r < 2 ? fig.backbone_west : fig.backbone_east;
+    t.add_link(parent, fig.regional[r], LinkClass::kHierarchical, 10.0);
+  }
+
+  for (int c = 0; c < 8; ++c) {
+    fig.campus[c] = t.add_ad(AdClass::kCampus, AdRole::kStub,
+                             "Campus-" + std::to_string(c));
+    t.add_link(fig.regional[c / 2], fig.campus[c], LinkClass::kHierarchical,
+               3.0);
+  }
+
+  // Lateral link between two mid-hierarchy regionals (spans the backbones).
+  fig.lateral_regional = t.add_link(fig.regional[1], fig.regional[2],
+                                    LinkClass::kLateral, 12.0);
+
+  // Lateral link between two campuses in different regionals.
+  fig.lateral_campus =
+      t.add_link(fig.campus[1], fig.campus[2], LinkClass::kLateral, 4.0);
+  // A campus with a private inter-AD link is still a stub unless it agrees
+  // to carry transit; campus[1]/campus[2] become multi-homed stubs.
+  t.ad(fig.campus[1]).role = AdRole::kMultiHomed;
+  t.ad(fig.campus[2]).role = AdRole::kMultiHomed;
+
+  // Multi-homed campus: homed to Reg-1 and Reg-2.
+  fig.multihomed =
+      t.add_ad(AdClass::kCampus, AdRole::kMultiHomed, "Campus-MH");
+  t.add_link(fig.regional[1], fig.multihomed, LinkClass::kHierarchical, 3.0);
+  t.add_link(fig.regional[2], fig.multihomed, LinkClass::kHierarchical, 3.0);
+
+  // Bypass: a campus under Reg-3 buys a direct link to the east backbone.
+  fig.bypass_campus =
+      t.add_ad(AdClass::kCampus, AdRole::kHybrid, "Campus-Bypass");
+  t.add_link(fig.regional[3], fig.bypass_campus, LinkClass::kHierarchical,
+             3.0);
+  fig.bypass = t.add_link(fig.bypass_campus, fig.backbone_east,
+                          LinkClass::kBypass, 8.0);
+
+  IDR_CHECK(is_connected(t));
+  IDR_CHECK(has_cycle(t));  // Figure 1 is deliberately non-tree (paper §2.1)
+  return fig;
+}
+
+}  // namespace idr

@@ -1,0 +1,30 @@
+// Concrete construction of the paper's Figure 1 ("Example Internet
+// Topology"): backbone, regional and campus networks connected by
+// hierarchical links, plus one regional-regional lateral link, one
+// campus-campus lateral link, and a campus-to-backbone bypass link, with a
+// multi-homed campus. The figure in the paper is schematic; this builder
+// realizes it as a specific named instance used by tests, examples and the
+// Figure-1 bench.
+#pragma once
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct Figure1 {
+  Topology topo;
+  // Named handles into the topology for tests/examples.
+  AdId backbone_west;   // "NSF-West"-style long haul backbone
+  AdId backbone_east;   // second long haul backbone
+  AdId regional[4];     // R0,R1 under west; R2,R3 under east
+  AdId campus[8];       // two per regional
+  AdId multihomed;      // campus homed to two regionals (R1 and R2)
+  AdId bypass_campus;   // campus with a direct backbone link
+  LinkId lateral_regional;  // R1 -- R2
+  LinkId lateral_campus;    // campus[1] -- campus[2]
+  LinkId bypass;            // bypass_campus -- backbone_east
+};
+
+Figure1 build_figure1();
+
+}  // namespace idr

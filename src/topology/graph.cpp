@@ -1,0 +1,126 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace idr {
+
+const char* to_string(AdClass c) noexcept {
+  switch (c) {
+    case AdClass::kBackbone: return "backbone";
+    case AdClass::kRegional: return "regional";
+    case AdClass::kMetro: return "metro";
+    case AdClass::kCampus: return "campus";
+  }
+  return "?";
+}
+
+const char* to_string(AdRole r) noexcept {
+  switch (r) {
+    case AdRole::kStub: return "stub";
+    case AdRole::kMultiHomed: return "multihomed";
+    case AdRole::kTransit: return "transit";
+    case AdRole::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* to_string(LinkClass c) noexcept {
+  switch (c) {
+    case LinkClass::kHierarchical: return "hierarchical";
+    case LinkClass::kLateral: return "lateral";
+    case LinkClass::kBypass: return "bypass";
+  }
+  return "?";
+}
+
+AdId Topology::add_ad(AdClass cls, AdRole role, std::string name) {
+  const AdId id{static_cast<std::uint32_t>(ads_.size())};
+  if (name.empty()) {
+    name = std::string(to_string(cls)) + "-" + std::to_string(id.v);
+  }
+  ads_.push_back(Ad{id, cls, role, std::move(name)});
+  adj_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_link(AdId x, AdId y, LinkClass cls, double delay_ms,
+                          std::uint32_t metric) {
+  IDR_CHECK(x.v < ads_.size() && y.v < ads_.size());
+  IDR_CHECK_MSG(x != y, "self links are not allowed");
+  IDR_CHECK_MSG(!find_link(x, y).has_value(), "duplicate inter-AD link");
+  if (y < x) std::swap(x, y);
+  const LinkId id{static_cast<std::uint32_t>(links_.size())};
+  links_.push_back(Link{id, x, y, cls, delay_ms, metric, /*up=*/true});
+  adj_[x.v].push_back(Adjacency{y, id});
+  adj_[y.v].push_back(Adjacency{x, id});
+  return id;
+}
+
+const Ad& Topology::ad(AdId id) const {
+  IDR_CHECK(id.v < ads_.size());
+  return ads_[id.v];
+}
+
+Ad& Topology::ad(AdId id) {
+  IDR_CHECK(id.v < ads_.size());
+  return ads_[id.v];
+}
+
+const Link& Topology::link(LinkId id) const {
+  IDR_CHECK(id.v < links_.size());
+  return links_[id.v];
+}
+
+std::span<const Adjacency> Topology::neighbors(AdId id) const {
+  IDR_CHECK(id.v < adj_.size());
+  return adj_[id.v];
+}
+
+std::vector<Adjacency> Topology::live_neighbors(AdId id) const {
+  std::vector<Adjacency> out;
+  for (const Adjacency& adj : neighbors(id)) {
+    if (link(adj.link).up) out.push_back(adj);
+  }
+  return out;
+}
+
+std::optional<LinkId> Topology::find_link(AdId x, AdId y) const {
+  if (x.v >= adj_.size()) return std::nullopt;
+  for (const Adjacency& adj : adj_[x.v]) {
+    if (adj.neighbor == y) return adj.link;
+  }
+  return std::nullopt;
+}
+
+void Topology::set_link_up(LinkId id, bool up) {
+  IDR_CHECK(id.v < links_.size());
+  links_[id.v].up = up;
+}
+
+AdId Topology::peer(LinkId link_id, AdId from) const {
+  const Link& l = link(link_id);
+  IDR_CHECK(l.a == from || l.b == from);
+  return l.a == from ? l.b : l.a;
+}
+
+std::size_t Topology::count_ads(AdClass cls) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(ads_.begin(), ads_.end(),
+                    [cls](const Ad& a) { return a.cls == cls; }));
+}
+
+std::size_t Topology::count_ads(AdRole role) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(ads_.begin(), ads_.end(),
+                    [role](const Ad& a) { return a.role == role; }));
+}
+
+std::size_t Topology::count_links(LinkClass cls) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(links_.begin(), links_.end(),
+                    [cls](const Link& l) { return l.cls == cls; }));
+}
+
+}  // namespace idr

@@ -1,0 +1,160 @@
+// Inter-AD topology model (paper §2.1).
+//
+// Nodes are Administrative Domains (ADs); we deliberately do not model
+// intra-AD structure (paper §4.1: inter-AD routes are sequences of ADs).
+// ADs are classed by hierarchy level (backbone / regional / metropolitan /
+// campus) and by transit role (stub / multi-homed stub / transit / hybrid).
+// Links are classed as hierarchical (parent-child in the hierarchy),
+// lateral (same-level shortcut), or bypass (level-skipping shortcut), the
+// three link kinds of the paper's Figure 1.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace idr {
+
+// Strong identifier for an Administrative Domain.
+struct AdId {
+  std::uint32_t v = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  [[nodiscard]] constexpr bool valid() const noexcept { return v != kInvalid; }
+  constexpr auto operator<=>(const AdId&) const noexcept = default;
+};
+
+// Sentinel used where "no previous/next AD" is meant (path endpoints).
+inline constexpr AdId kNoAd{AdId::kInvalid};
+
+struct LinkId {
+  std::uint32_t v = 0xffffffffu;
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return v != 0xffffffffu;
+  }
+  constexpr auto operator<=>(const LinkId&) const noexcept = default;
+};
+
+enum class AdClass : std::uint8_t {
+  kBackbone = 0,   // long-haul backbone network
+  kRegional = 1,   // regional network
+  kMetro = 2,      // metropolitan network
+  kCampus = 3,     // campus network
+};
+
+// Transit role (paper §2.1 definitions).
+enum class AdRole : std::uint8_t {
+  kStub = 0,        // no transit for anyone outside the AD
+  kMultiHomed = 1,  // stub with >1 inter-AD connection, disallows transit
+  kTransit = 2,     // primary function is transit service
+  kHybrid = 3,      // limited transit (access + some transit)
+};
+
+enum class LinkClass : std::uint8_t {
+  kHierarchical = 0,
+  kLateral = 1,
+  kBypass = 2,
+};
+
+const char* to_string(AdClass c) noexcept;
+const char* to_string(AdRole r) noexcept;
+const char* to_string(LinkClass c) noexcept;
+
+struct Ad {
+  AdId id;
+  AdClass cls = AdClass::kCampus;
+  AdRole role = AdRole::kStub;
+  std::string name;
+};
+
+struct Link {
+  LinkId id;
+  AdId a;  // endpoints; undirected, a.v < b.v by construction
+  AdId b;
+  LinkClass cls = LinkClass::kHierarchical;
+  double delay_ms = 1.0;   // propagation + processing delay for the DES
+  std::uint32_t metric = 1;  // administrative metric (cost proxy)
+  bool up = true;
+};
+
+// An entry in an AD's adjacency list.
+struct Adjacency {
+  AdId neighbor;
+  LinkId link;
+};
+
+// The inter-AD graph. Undirected multigraph is not needed: at most one
+// link per AD pair (the paper's "virtual gateway" abstraction aggregates
+// parallel physical gateways into one inter-AD connection).
+class Topology {
+ public:
+  AdId add_ad(AdClass cls, AdRole role, std::string name = {});
+
+  // Adds an undirected link; at most one link per pair (checked).
+  LinkId add_link(AdId x, AdId y, LinkClass cls, double delay_ms = 1.0,
+                  std::uint32_t metric = 1);
+
+  [[nodiscard]] std::size_t ad_count() const noexcept { return ads_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+
+  [[nodiscard]] const Ad& ad(AdId id) const;
+  [[nodiscard]] Ad& ad(AdId id);
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] const std::vector<Ad>& ads() const noexcept { return ads_; }
+  [[nodiscard]] const std::vector<Link>& links() const noexcept {
+    return links_;
+  }
+
+  // Neighbors of an AD (including those across down links; callers that
+  // care about liveness must check link(adj.link).up).
+  [[nodiscard]] std::span<const Adjacency> neighbors(AdId id) const;
+
+  // Live neighbors only (links that are up).
+  [[nodiscard]] std::vector<Adjacency> live_neighbors(AdId id) const;
+
+  [[nodiscard]] std::optional<LinkId> find_link(AdId x, AdId y) const;
+
+  void set_link_up(LinkId id, bool up);
+
+  // Other endpoint of `link` as seen from `from`.
+  [[nodiscard]] AdId peer(LinkId link, AdId from) const;
+
+  // True if the AD may carry transit traffic at all (role is transit or
+  // hybrid). Stub and multi-homed ADs never carry transit (paper §2.1).
+  [[nodiscard]] bool can_transit(AdId id) const {
+    const AdRole r = ad(id).role;
+    return r == AdRole::kTransit || r == AdRole::kHybrid;
+  }
+
+  // Census helpers used by the Figure-1 bench and tests.
+  [[nodiscard]] std::size_t count_ads(AdClass cls) const noexcept;
+  [[nodiscard]] std::size_t count_ads(AdRole role) const noexcept;
+  [[nodiscard]] std::size_t count_links(LinkClass cls) const noexcept;
+
+ private:
+  std::vector<Ad> ads_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace idr
+
+template <>
+struct std::hash<idr::AdId> {
+  std::size_t operator()(const idr::AdId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};
+
+template <>
+struct std::hash<idr::LinkId> {
+  std::size_t operator()(const idr::LinkId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.v);
+  }
+};

@@ -1,0 +1,206 @@
+#include "topology/parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace idr {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_ws(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+std::optional<AdClass> parse_class(std::string_view s) {
+  if (s == "backbone") return AdClass::kBackbone;
+  if (s == "regional") return AdClass::kRegional;
+  if (s == "metro") return AdClass::kMetro;
+  if (s == "campus") return AdClass::kCampus;
+  return std::nullopt;
+}
+
+std::optional<AdRole> parse_role(std::string_view s) {
+  if (s == "transit") return AdRole::kTransit;
+  if (s == "stub") return AdRole::kStub;
+  if (s == "multihomed") return AdRole::kMultiHomed;
+  if (s == "hybrid") return AdRole::kHybrid;
+  return std::nullopt;
+}
+
+std::optional<LinkClass> parse_link_class(std::string_view s) {
+  if (s == "hierarchical") return LinkClass::kHierarchical;
+  if (s == "lateral") return LinkClass::kLateral;
+  if (s == "bypass") return LinkClass::kBypass;
+  return std::nullopt;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  // std::from_chars for double is inconsistently available; parse by hand
+  // into a bounded buffer.
+  char buf[64];
+  if (s.empty() || s.size() >= sizeof buf) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+TopoParseResult parse_topology(std::string_view text) {
+  Topology topo;
+  std::unordered_map<std::string, AdId> by_name;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto fields = split_ws(line);
+
+    if (fields[0] == "ad") {
+      if (fields.size() != 4) {
+        return TopoParseError{line_no, "expected: ad <name> <class> <role>"};
+      }
+      const std::string name(fields[1]);
+      if (by_name.contains(name)) {
+        return TopoParseError{line_no, "duplicate AD '" + name + "'"};
+      }
+      const auto cls = parse_class(fields[2]);
+      if (!cls) {
+        return TopoParseError{line_no,
+                              "unknown class '" + std::string(fields[2]) +
+                                  "'"};
+      }
+      const auto role = parse_role(fields[3]);
+      if (!role) {
+        return TopoParseError{line_no,
+                              "unknown role '" + std::string(fields[3]) +
+                                  "'"};
+      }
+      by_name[name] = topo.add_ad(*cls, *role, name);
+    } else if (fields[0] == "link") {
+      if (fields.size() < 4) {
+        return TopoParseError{
+            line_no, "expected: link <a> <b> <kind> [delay=..] [metric=..]"};
+      }
+      const auto a = by_name.find(std::string(fields[1]));
+      const auto b = by_name.find(std::string(fields[2]));
+      if (a == by_name.end()) {
+        return TopoParseError{line_no,
+                              "unknown AD '" + std::string(fields[1]) + "'"};
+      }
+      if (b == by_name.end()) {
+        return TopoParseError{line_no,
+                              "unknown AD '" + std::string(fields[2]) + "'"};
+      }
+      const auto cls = parse_link_class(fields[3]);
+      if (!cls) {
+        return TopoParseError{
+            line_no, "unknown link kind '" + std::string(fields[3]) + "'"};
+      }
+      double delay = 1.0;
+      std::uint32_t metric = 1;
+      for (std::size_t i = 4; i < fields.size(); ++i) {
+        const std::string_view field = fields[i];
+        const std::size_t eq = field.find('=');
+        if (eq == std::string_view::npos) {
+          return TopoParseError{
+              line_no, "expected key=value, got '" + std::string(field) + "'"};
+        }
+        const std::string_view key = field.substr(0, eq);
+        const std::string_view value = field.substr(eq + 1);
+        if (key == "delay") {
+          const auto v = parse_double(value);
+          if (!v || *v <= 0.0) {
+            return TopoParseError{line_no, "bad delay"};
+          }
+          delay = *v;
+        } else if (key == "metric") {
+          std::uint32_t m = 0;
+          const auto [p, ec] =
+              std::from_chars(value.data(), value.data() + value.size(), m);
+          if (ec != std::errc() || p != value.data() + value.size() ||
+              m == 0) {
+            return TopoParseError{line_no, "bad metric"};
+          }
+          metric = m;
+        } else {
+          return TopoParseError{
+              line_no, "unknown link attribute '" + std::string(key) + "'"};
+        }
+      }
+      if (a->second == b->second) {
+        return TopoParseError{line_no, "self link"};
+      }
+      if (topo.find_link(a->second, b->second)) {
+        return TopoParseError{line_no, "duplicate link"};
+      }
+      topo.add_link(a->second, b->second, *cls, delay, metric);
+    } else {
+      return TopoParseError{
+          line_no, "unknown statement '" + std::string(fields[0]) + "'"};
+    }
+  }
+  return topo;
+}
+
+std::string format_topology(const Topology& topo) {
+  std::string out;
+  for (const Ad& ad : topo.ads()) {
+    out += "ad " + ad.name + " ";
+    out += to_string(ad.cls);
+    out += " ";
+    out += to_string(ad.role);
+    out += "\n";
+  }
+  char buf[64];
+  for (const Link& l : topo.links()) {
+    out += "link " + topo.ad(l.a).name + " " + topo.ad(l.b).name + " ";
+    out += to_string(l.cls);
+    std::snprintf(buf, sizeof buf, " delay=%g metric=%u\n", l.delay_ms,
+                  l.metric);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace idr

@@ -1,0 +1,37 @@
+// Textual topology format, the configuration-side twin of the policy
+// language (policy/dsl.hpp). One statement per line, '#' comments:
+//
+//   ad BB-West backbone transit
+//   ad Campus-0 campus stub
+//   link BB-West Reg-0 hierarchical delay=10 metric=1
+//
+// AD classes: backbone | regional | metro | campus.
+// Roles:      transit | stub | multihomed | hybrid.
+// Link kinds: hierarchical | lateral | bypass.
+// parse_topology() returns the Topology or a diagnostic; format_topology()
+// renders one back (round-trip tested).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "topology/graph.hpp"
+
+namespace idr {
+
+struct TopoParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+
+  [[nodiscard]] std::string describe() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+using TopoParseResult = std::variant<Topology, TopoParseError>;
+
+TopoParseResult parse_topology(std::string_view text);
+std::string format_topology(const Topology& topo);
+
+}  // namespace idr

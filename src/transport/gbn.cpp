@@ -1,0 +1,148 @@
+#include "transport/gbn.hpp"
+
+#include "util/check.hpp"
+#include "wire/codec.hpp"
+
+namespace idr::transport {
+namespace {
+
+std::vector<std::uint8_t> frame(std::uint8_t type, std::uint32_t seq,
+                                std::span<const std::uint8_t> payload) {
+  wire::Writer w;
+  w.u8(type);
+  w.u32(seq);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Connection::Connection(OrwgNode& node, Engine& engine, FlowSpec flow,
+                       GbnConfig config)
+    : node_(node), engine_(engine), flow_(flow), config_(config) {
+  reverse_flow_ = flow;
+  std::swap(reverse_flow_.src, reverse_flow_.dst);
+  IDR_CHECK(config_.window >= 1);
+}
+
+void Connection::send(std::vector<std::uint8_t> message) {
+  IDR_CHECK_MSG(message.size() <= 0xffff, "message too large for a segment");
+  outbox_.push_back(std::move(message));
+  pump();
+}
+
+void Connection::pump() {
+  if (failed_) return;
+  const bool was_empty = in_flight_ == 0;
+  while (in_flight_ < config_.window && !outbox_.empty()) {
+    window_.push_back(std::move(outbox_.front()));
+    outbox_.pop_front();
+    ++in_flight_;
+    ++messages_sent_;
+    transmit(next_seq_++);
+  }
+  if (was_empty && in_flight_ > 0) arm_timer();
+}
+
+void Connection::transmit(std::uint32_t seq) {
+  IDR_CHECK(seq >= base_ && seq < base_ + in_flight_);
+  const auto& payload = window_[seq - base_];
+  node_.send_data(flow_, seq, frame(kData, seq, payload));
+}
+
+void Connection::arm_timer() {
+  const std::uint64_t generation = ++timer_generation_;
+  engine_.after(config_.retransmit_timeout_ms, [this, generation] {
+    if (generation != timer_generation_ || in_flight_ == 0 || failed_) {
+      return;
+    }
+    if (++rounds_ > config_.max_retransmit_rounds) {
+      failed_ = true;
+      window_.clear();
+      outbox_.clear();
+      in_flight_ = 0;
+      return;
+    }
+    // Go-Back-N: retransmit the entire window.
+    for (std::uint32_t seq = base_; seq < base_ + in_flight_; ++seq) {
+      transmit(seq);
+      ++retransmissions_;
+    }
+    arm_timer();
+  });
+}
+
+void Connection::send_ack() {
+  node_.send_data(flow_, expected_, frame(kAck, expected_, {}));
+}
+
+void Connection::on_segment(std::span<const std::uint8_t> segment) {
+  wire::Reader r(segment);
+  const std::uint8_t type = r.u8();
+  const std::uint32_t seq = r.u32();
+  const std::uint16_t len = r.u16();
+  std::vector<std::uint8_t> payload(len);
+  for (auto& b : payload) b = r.u8();
+  if (!r.ok()) return;  // corrupt segment: drop, ARQ recovers
+
+  if (type == kAck) {
+    // Cumulative: everything below `seq` is acknowledged.
+    if (seq > base_) {
+      const std::uint32_t acked =
+          std::min(seq - base_, static_cast<std::uint32_t>(in_flight_));
+      window_.erase(window_.begin(),
+                    window_.begin() + static_cast<long>(acked));
+      base_ += acked;
+      in_flight_ -= acked;
+      rounds_ = 0;
+      ++timer_generation_;  // cancel outstanding timer
+      if (in_flight_ > 0) arm_timer();
+      pump();
+    }
+    return;
+  }
+  if (type != kData) return;
+
+  if (seq == expected_) {
+    ++expected_;
+    ++messages_delivered_;
+    if (handler_) handler_(std::move(payload));
+  } else {
+    ++duplicates_discarded_;  // out-of-order or duplicate: GBN discards
+  }
+  send_ack();
+}
+
+TransportHost::TransportHost(OrwgNode& node, Engine& engine,
+                             GbnConfig config)
+    : node_(node), engine_(engine), config_(config) {
+  node_.set_delivery_handler([this](const FlowSpec& flow, std::uint32_t,
+                                    std::span<const std::uint8_t> payload) {
+    // Inbound flow runs peer -> us; our connection to that peer sends
+    // us -> peer with the same traffic class.
+    Connection& conn = connect(flow.src, traffic_class_of(flow));
+    conn.on_segment(payload);
+  });
+}
+
+Connection& TransportHost::connect(AdId peer, TrafficClass tc) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(peer.v) << 32) | tc.index();
+  auto it = connections_.find(key);
+  if (it == connections_.end()) {
+    FlowSpec flow;
+    flow.src = node_.id();
+    flow.dst = peer;
+    flow.qos = tc.qos;
+    flow.uci = tc.uci;
+    flow.hour = tc.hour;
+    it = connections_
+             .emplace(key, std::make_unique<Connection>(node_, engine_,
+                                                        flow, config_))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace idr::transport

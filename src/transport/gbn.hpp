@@ -1,0 +1,128 @@
+// A Go-Back-N reliable transport over ORWG Policy Routes.
+//
+// The paper is explicit that the PR data plane is an unreliable datagram
+// service: "Packets may be delivered out of order ... Sequencing and
+// reliability are left to the transport layer to do as required by the
+// application" (§5.4.1). This module is that transport layer: a
+// cumulative-ACK Go-Back-N ARQ whose segments ride established Policy
+// Routes in both directions (ACKs take the reverse flow's own PR,
+// exercising PR sharing across host pairs).
+//
+// TransportHost wraps an OrwgNode, demultiplexes inbound segments by
+// peer AD, and owns per-peer sender/receiver state. Timers run on the
+// simulation engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/orwg/orwg_node.hpp"
+#include "sim/engine.hpp"
+
+namespace idr::transport {
+
+struct GbnConfig {
+  std::uint32_t window = 8;
+  double retransmit_timeout_ms = 600.0;
+  std::uint32_t max_retransmit_rounds = 50;  // give-up bound
+};
+
+// One reliable byte-message stream to a single peer AD.
+class Connection {
+ public:
+  using MessageHandler =
+      std::function<void(std::vector<std::uint8_t> message)>;
+
+  Connection(OrwgNode& node, Engine& engine, FlowSpec flow, GbnConfig config);
+
+  // Queue a message for reliable in-order delivery.
+  void send(std::vector<std::uint8_t> message);
+
+  // Invoked (at the remote Connection) for each in-order message.
+  void set_message_handler(MessageHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  [[nodiscard]] bool idle() const noexcept {
+    return outbox_.empty() && in_flight_ == 0;
+  }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept {
+    return messages_sent_;
+  }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_discarded() const noexcept {
+    return duplicates_discarded_;
+  }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+  // Internal: raw segment arrived from the peer (called by
+  // TransportHost).
+  void on_segment(std::span<const std::uint8_t> segment);
+
+ private:
+  static constexpr std::uint8_t kData = 1;
+  static constexpr std::uint8_t kAck = 2;
+
+  void pump();                     // fill the window from the outbox
+  void transmit(std::uint32_t seq);
+  void arm_timer();
+  void send_ack();
+
+  OrwgNode& node_;
+  Engine& engine_;
+  FlowSpec flow_;          // this end -> peer
+  FlowSpec reverse_flow_;  // peer -> this end (for context only)
+  GbnConfig config_;
+
+  // Sender state.
+  std::deque<std::vector<std::uint8_t>> outbox_;  // not yet in window
+  std::vector<std::vector<std::uint8_t>> window_;  // seq base_..base_+n-1
+  std::uint32_t base_ = 0;       // oldest unacked sequence
+  std::uint32_t next_seq_ = 0;   // next fresh sequence
+  std::uint32_t in_flight_ = 0;  // window_.size() convenience
+  std::uint64_t timer_generation_ = 0;
+  std::uint32_t rounds_ = 0;
+  bool failed_ = false;
+
+  // Receiver state.
+  std::uint32_t expected_ = 0;  // next in-order sequence
+  MessageHandler handler_;
+
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t duplicates_discarded_ = 0;
+};
+
+// Wraps one OrwgNode: installs itself as the node's delivery handler and
+// routes segments to per-peer Connections.
+class TransportHost {
+ public:
+  TransportHost(OrwgNode& node, Engine& engine, GbnConfig config = {});
+
+  // Connection to `peer` for the given traffic class (created on first
+  // use; one per peer AD + class).
+  Connection& connect(AdId peer, TrafficClass tc = {});
+
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return connections_.size();
+  }
+
+ private:
+  OrwgNode& node_;
+  Engine& engine_;
+  GbnConfig config_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+      connections_;
+};
+
+}  // namespace idr::transport

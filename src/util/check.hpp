@@ -1,0 +1,26 @@
+// Invariant checking. IDR_CHECK is always on (simulation correctness beats
+// the last few percent of throughput); violations abort with location info.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace idr::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "IDR_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " -- " : "", msg);
+  std::abort();
+}
+}  // namespace idr::detail
+
+#define IDR_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::idr::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define IDR_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::idr::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (false)

@@ -1,0 +1,25 @@
+// Minimal leveled logger. Protocol nodes log through this so examples can
+// narrate what the simulation does; benchmarks run with logging off.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace idr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are dropped. Default: kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+// printf-style logging to stderr with a level prefix.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace idr
+
+#define IDR_LOG_DEBUG(...) ::idr::logf(::idr::LogLevel::kDebug, __VA_ARGS__)
+#define IDR_LOG_INFO(...) ::idr::logf(::idr::LogLevel::kInfo, __VA_ARGS__)
+#define IDR_LOG_WARN(...) ::idr::logf(::idr::LogLevel::kWarn, __VA_ARGS__)
+#define IDR_LOG_ERROR(...) ::idr::logf(::idr::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,26 @@
+#include "util/prng.hpp"
+
+#include <cmath>
+
+namespace idr {
+
+std::uint64_t Prng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t range = hi - lo;  // inclusive width - 1
+  if (range == max()) return (*this)();
+  const std::uint64_t bound = range + 1;
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    if (r >= threshold) return lo + r % bound;
+  }
+}
+
+double Prng::exponential(double mean) noexcept {
+  // Inverse CDF; clamp away from log(0).
+  double u = uniform01();
+  if (u >= 1.0) u = 0x1.fffffffffffffp-1;
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace idr

@@ -1,0 +1,32 @@
+// Console table rendering for benchmark output. Benchmarks print the rows
+// the paper's tables/claims correspond to; this keeps them aligned and
+// machine-greppable (also emits CSV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: format doubles/ints into cells.
+  static std::string num(double v, int precision = 3);
+  static std::string integer(long long v);
+  static std::string ratio(double num, double den, int precision = 3);
+
+  [[nodiscard]] std::string render() const;       // aligned ASCII
+  [[nodiscard]] std::string render_csv() const;   // comma separated
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace idr

@@ -1,0 +1,82 @@
+// Network-byte-order wire codec.
+//
+// Every protocol PDU in this repository is encoded to bytes and decoded on
+// receipt, so the message/byte counters reported by the benchmarks reflect
+// real serialized sizes rather than in-memory struct sizes, and so codecs
+// can be round-trip and fuzz tested like a real implementation's.
+//
+// Writer appends big-endian fields to a growable buffer. Reader consumes
+// them with sticky failure: after the first out-of-bounds read every later
+// read returns zero values and ok() stays false, so decoders can be written
+// straight-line and check ok() once at the end.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idr::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  // Length-prefixed (u16) byte string.
+  void str(std::string_view v);
+  // Length-prefixed (u16) list of u32 values.
+  void u32_list(std::span<const std::uint32_t> values);
+  void raw(std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) noexcept
+      : data_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string str();
+  std::vector<std::uint32_t> u32_list();
+
+  // True iff no read has run past the end of the buffer so far.
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  // True iff ok() and the whole buffer was consumed (strict decoders).
+  [[nodiscard]] bool done() const noexcept {
+    return ok_ && pos_ == data_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+ private:
+  [[nodiscard]] bool take(std::size_t n) noexcept {
+    if (!ok_ || data_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace idr::wire

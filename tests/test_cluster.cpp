@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "cluster/aggregate.hpp"
+#include "cluster/clustering.hpp"
+#include "cluster/hierarchical.hpp"
+#include "core/oracle.hpp"
+#include "core/scenario.hpp"
+#include "policy/generator.hpp"
+#include "topology/figure1.hpp"
+#include "topology/generator.hpp"
+
+namespace idr {
+namespace {
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = build_figure1();
+    policies_ = make_open_policies(fig_.topo);
+    clustering_ = std::make_unique<Clustering>(cluster_by_hierarchy(fig_.topo));
+  }
+  Figure1 fig_;
+  PolicySet policies_;
+  std::unique_ptr<Clustering> clustering_;
+};
+
+TEST_F(ClusterTest, HierarchyClusteringShape) {
+  // Figure 1: 2 backbone clusters + 4 regional clusters.
+  EXPECT_EQ(clustering_->count(), 6u);
+  EXPECT_TRUE(clustering_->complete());
+  // Each backbone is alone in its cluster.
+  EXPECT_EQ(clustering_->members(clustering_->cluster_of(fig_.backbone_west))
+                .size(),
+            1u);
+  // A campus belongs to its regional's cluster.
+  EXPECT_EQ(clustering_->cluster_of(fig_.campus[0]),
+            clustering_->cluster_of(fig_.regional[0]));
+  // The multi-homed campus went to its first parent (Reg-1).
+  EXPECT_EQ(clustering_->cluster_of(fig_.multihomed),
+            clustering_->cluster_of(fig_.regional[1]));
+}
+
+TEST_F(ClusterTest, EveryAdInExactlyOneCluster) {
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < clustering_->count(); ++c) {
+    total += clustering_->members(ClusterId{c}).size();
+  }
+  EXPECT_EQ(total, fig_.topo.ad_count());
+}
+
+TEST_F(ClusterTest, AggregateGraphStructure) {
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  EXPECT_EQ(graph.topo.ad_count(), clustering_->count());
+  // The cluster graph is much smaller but still connected.
+  EXPECT_GT(graph.topo.link_count(), 0u);
+  EXPECT_LT(graph.topo.link_count(), fig_.topo.link_count());
+  // Clusters anchored by transit ADs advertise aggregated transit.
+  const ClusterId reg0 = clustering_->cluster_of(fig_.regional[0]);
+  EXPECT_FALSE(graph.policies.terms(graph.node_of(reg0)).empty());
+}
+
+TEST_F(ClusterTest, AggregationIsOptimistic) {
+  // Restrict Reg-1 to research; the aggregate for its cluster must still
+  // advertise at least research (union semantics, never narrower than
+  // any member).
+  policies_.clear_terms(fig_.regional[1]);
+  PolicyTerm t = open_transit_term(fig_.regional[1]);
+  t.uci_mask = uci_bit(UserClass::kResearch);
+  policies_.add_term(t);
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  const ClusterId c = clustering_->cluster_of(fig_.regional[1]);
+  const auto terms = graph.policies.terms(graph.node_of(c));
+  ASSERT_FALSE(terms.empty());
+  EXPECT_TRUE(terms[0].uci_mask & uci_bit(UserClass::kResearch));
+}
+
+TEST_F(ClusterTest, FootprintShrinks) {
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  const AbstractionFootprint fp = footprint(fig_.topo, policies_, graph);
+  EXPECT_LT(fp.cluster_nodes, fp.flat_nodes);
+  EXPECT_LT(fp.cluster_links, fp.flat_links);
+  EXPECT_LE(fp.cluster_terms, fp.flat_terms);
+}
+
+TEST_F(ClusterTest, HierarchicalSynthesisFindsLegalRoutes) {
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  const Oracle oracle(fig_.topo, policies_);
+  for (int s : {0, 2, 4}) {
+    for (int d : {1, 5, 7}) {
+      if (fig_.campus[s] == fig_.campus[d]) continue;
+      FlowSpec flow{fig_.campus[s], fig_.campus[d]};
+      const HierarchicalResult hier = synthesize_hierarchical(
+          fig_.topo, policies_, *clustering_, graph, flow);
+      const SynthesisResult flat = oracle.best_route(flow);
+      ASSERT_EQ(hier.result.found(), flat.found());
+      if (hier.result.found()) {
+        EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow,
+                                            hier.result.path));
+        // Optimality may be lost, never gained.
+        EXPECT_GE(hier.result.cost, flat.cost);
+      }
+    }
+  }
+}
+
+TEST_F(ClusterTest, IntraClusterFlowStaysInCluster) {
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  FlowSpec flow{fig_.campus[0], fig_.campus[1]};  // both under Reg-0
+  const HierarchicalResult hier = synthesize_hierarchical(
+      fig_.topo, policies_, *clustering_, graph, flow);
+  ASSERT_TRUE(hier.result.found());
+  const ClusterId home = clustering_->cluster_of(fig_.campus[0]);
+  for (AdId ad : hier.result.path) {
+    EXPECT_EQ(clustering_->cluster_of(ad), home);
+  }
+  EXPECT_FALSE(hier.used_fallback);
+}
+
+TEST_F(ClusterTest, FallbackRescuesOptimisticAggregation) {
+  // Make the aggregate look permissive while the members are not: Reg-2
+  // only carries low-delay traffic. Cluster-level routing may pick the
+  // Reg-1 > Reg-2 corridor for a default-QoS flow; the corridor
+  // expansion then fails and the fallback still finds the legal route
+  // via the backbones.
+  policies_.clear_terms(fig_.regional[2]);
+  PolicyTerm t = open_transit_term(fig_.regional[2]);
+  t.qos_mask = qos_bit(Qos::kLowDelay);
+  policies_.add_term(t);
+  const ClusterGraph graph = aggregate(fig_.topo, policies_, *clustering_);
+  FlowSpec flow{fig_.campus[2], fig_.campus[4]};  // Reg-1's to Reg-2's campus
+  const HierarchicalResult hier = synthesize_hierarchical(
+      fig_.topo, policies_, *clustering_, graph, flow);
+  // Whatever path level-1 guessed, the final answer must be correct.
+  const Oracle oracle(fig_.topo, policies_);
+  const SynthesisResult flat = oracle.best_route(flow);
+  ASSERT_EQ(hier.result.found(), flat.found());
+  if (hier.result.found()) {
+    EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, hier.result.path));
+  }
+}
+
+TEST(ClusterProperty, HierarchicalNeverFindsIllegalOrMissesVsFlat) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ScenarioParams params;
+    params.seed = seed;
+    params.target_ads = 64;
+    params.flow_count = 24;
+    params.restrict_prob = 0.4;
+    Scenario scenario = make_scenario(params);
+    const Clustering clustering = cluster_by_hierarchy(scenario.topo);
+    const ClusterGraph graph =
+        aggregate(scenario.topo, scenario.policies, clustering);
+    const Oracle oracle(scenario.topo, scenario.policies);
+    for (const FlowSpec& flow : scenario.flows) {
+      // Match the oracle's source-policy options (avoid lists etc.).
+      const SourcePolicy& sp = scenario.policies.source_policy(flow.src);
+      SynthesisOptions options;
+      options.max_hops = sp.max_hops;
+      options.avoid = sp.avoid;
+      options.minimize_cost = sp.prefer_min_cost;
+      const HierarchicalResult hier = synthesize_hierarchical(
+          scenario.topo, scenario.policies, clustering, graph, flow,
+          options);
+      const SynthesisResult flat = oracle.best_route(flow);
+      EXPECT_EQ(hier.result.found(), flat.found()) << "seed " << seed;
+      if (hier.result.found()) {
+        EXPECT_TRUE(scenario.policies.path_is_legal(scenario.topo, flow,
+                                                    hier.result.path));
+        EXPECT_GE(hier.result.cost, flat.cost);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idr

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include "policy/dsl.hpp"
+#include "policy/generator.hpp"
+#include "topology/figure1.hpp"
+
+namespace idr {
+namespace {
+
+class DslTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fig_ = build_figure1(); }
+
+  PolicySet parse_ok(std::string_view text) {
+    DslResult result = parse_policies(fig_.topo, text);
+    EXPECT_TRUE(std::holds_alternative<PolicySet>(result))
+        << std::get<DslError>(result).describe();
+    return std::get<PolicySet>(std::move(result));
+  }
+
+  DslError parse_err(std::string_view text) {
+    DslResult result = parse_policies(fig_.topo, text);
+    EXPECT_TRUE(std::holds_alternative<DslError>(result));
+    return std::get<DslError>(std::move(result));
+  }
+
+  Figure1 fig_;
+};
+
+TEST_F(DslTest, EmptyAndComments) {
+  const PolicySet p = parse_ok("\n# just a comment\n   \n");
+  EXPECT_EQ(p.total_terms(), 0u);
+}
+
+TEST_F(DslTest, MinimalTerm) {
+  const PolicySet p = parse_ok("term owner=BB-West\n");
+  const auto terms = p.terms(fig_.backbone_west);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_TRUE(terms[0].sources.is_any());
+  EXPECT_EQ(terms[0].qos_mask, kAllQosMask);
+  EXPECT_EQ(terms[0].cost, 1u);
+}
+
+TEST_F(DslTest, FullTerm) {
+  const PolicySet p = parse_ok(
+      "term owner=Reg-1 id=7 src={Campus-0,Campus-2} dst=* prev=* "
+      "next={BB-West} qos={default,low-delay} uci={research} hours=8-18 "
+      "cost=3\n");
+  const auto terms = p.terms(fig_.regional[1]);
+  ASSERT_EQ(terms.size(), 1u);
+  const PolicyTerm& t = terms[0];
+  EXPECT_EQ(t.id, 7u);
+  EXPECT_FALSE(t.sources.is_any());
+  EXPECT_TRUE(t.sources.contains(fig_.campus[0]));
+  EXPECT_TRUE(t.sources.contains(fig_.campus[2]));
+  EXPECT_FALSE(t.sources.contains(fig_.campus[1]));
+  EXPECT_TRUE(t.dests.is_any());
+  EXPECT_TRUE(t.next_hops.contains(fig_.backbone_west));
+  EXPECT_FALSE(t.next_hops.contains(fig_.backbone_east));
+  EXPECT_EQ(t.qos_mask, qos_bit(Qos::kDefault) | qos_bit(Qos::kLowDelay));
+  EXPECT_EQ(t.uci_mask, uci_bit(UserClass::kResearch));
+  EXPECT_EQ(t.hour_begin, 8);
+  EXPECT_EQ(t.hour_end, 18);
+  EXPECT_EQ(t.cost, 3u);
+}
+
+TEST_F(DslTest, SourceStatement) {
+  const PolicySet p = parse_ok(
+      "source Campus-0 avoid={BB-East} max-hops=12 prefer=hops\n");
+  const SourcePolicy& sp = p.source_policy(fig_.campus[0]);
+  ASSERT_EQ(sp.avoid.size(), 1u);
+  EXPECT_EQ(sp.avoid[0], fig_.backbone_east);
+  EXPECT_EQ(sp.max_hops, 12u);
+  EXPECT_FALSE(sp.prefer_min_cost);
+}
+
+TEST_F(DslTest, MultipleStatements) {
+  const PolicySet p = parse_ok(
+      "term owner=BB-West cost=1\n"
+      "term owner=BB-West uci={research} cost=2   # AUP\n"
+      "term owner=BB-East cost=5\n"
+      "source Campus-1 avoid={Reg-2}\n");
+  EXPECT_EQ(p.terms(fig_.backbone_west).size(), 2u);
+  EXPECT_EQ(p.terms(fig_.backbone_east).size(), 1u);
+  EXPECT_EQ(p.source_policy(fig_.campus[1]).avoid.size(), 1u);
+}
+
+TEST_F(DslTest, ErrorUnknownAd) {
+  const DslError e = parse_err("term owner=Nowhere\n");
+  EXPECT_EQ(e.line, 1u);
+  EXPECT_NE(e.message.find("Nowhere"), std::string::npos);
+}
+
+TEST_F(DslTest, ErrorReportsLineNumber) {
+  const DslError e = parse_err(
+      "term owner=BB-West\n"
+      "# fine\n"
+      "term owner=BB-East hours=9\n");
+  EXPECT_EQ(e.line, 3u);
+}
+
+TEST_F(DslTest, ErrorBadKeyword) {
+  EXPECT_NE(parse_err("frobnicate all\n").message.find("frobnicate"),
+            std::string::npos);
+}
+
+TEST_F(DslTest, ErrorMissingOwner) {
+  const DslError e = parse_err("term cost=3\n");
+  EXPECT_NE(e.message.find("owner"), std::string::npos);
+}
+
+TEST_F(DslTest, ErrorBadQos) {
+  parse_err("term owner=BB-West qos={warp-speed}\n");
+}
+
+TEST_F(DslTest, ErrorBadHours) {
+  parse_err("term owner=BB-West hours=8-99\n");
+  parse_err("term owner=BB-West hours=noon\n");
+}
+
+TEST_F(DslTest, ErrorBadPrefer) {
+  parse_err("source Campus-0 prefer=magic\n");
+}
+
+TEST_F(DslTest, RoundTripGeneratedPolicies) {
+  const PolicySet original = make_provider_customer_policies(fig_.topo);
+  const std::string text = format_policies(fig_.topo, original);
+  const PolicySet reparsed = parse_ok(text);
+  ASSERT_EQ(reparsed.total_terms(), original.total_terms());
+  for (const Ad& ad : fig_.topo.ads()) {
+    const auto a = original.terms(ad.id);
+    const auto b = reparsed.terms(ad.id);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << fig_.topo.ad(ad.id).name << " term " << i;
+    }
+  }
+}
+
+TEST_F(DslTest, RoundTripSourcePolicies) {
+  PolicySet original(fig_.topo.ad_count());
+  original.source_policy(fig_.campus[3]).avoid = {fig_.backbone_west};
+  original.source_policy(fig_.campus[3]).max_hops = 9;
+  original.source_policy(fig_.campus[3]).prefer_min_cost = false;
+  const std::string text = format_policies(fig_.topo, original);
+  const PolicySet reparsed = parse_ok(text);
+  const SourcePolicy& sp = reparsed.source_policy(fig_.campus[3]);
+  EXPECT_EQ(sp.avoid, original.source_policy(fig_.campus[3]).avoid);
+  EXPECT_EQ(sp.max_hops, 9u);
+  EXPECT_FALSE(sp.prefer_min_cost);
+}
+
+TEST_F(DslTest, ParsedPoliciesDriveLegality) {
+  // An AUP written in the DSL behaves like one built programmatically.
+  const PolicySet p = parse_ok(
+      "term owner=BB-West uci={research}\n"
+      "term owner=BB-East\n"
+      "term owner=Reg-0\nterm owner=Reg-1\nterm owner=Reg-2\n"
+      "term owner=Reg-3\n");
+  FlowSpec research{fig_.campus[0], fig_.campus[6], Qos::kDefault,
+                    UserClass::kResearch, 12};
+  FlowSpec commercial = research;
+  commercial.uci = UserClass::kCommercial;
+  const std::vector<AdId> path{fig_.campus[0],  fig_.regional[0],
+                               fig_.backbone_west, fig_.backbone_east,
+                               fig_.regional[3], fig_.campus[6]};
+  EXPECT_TRUE(p.path_is_legal(fig_.topo, research, path));
+  EXPECT_FALSE(p.path_is_legal(fig_.topo, commercial, path));
+}
+
+TEST_F(DslTest, WrappedHourWindowRoundTrips) {
+  const PolicySet p = parse_ok("term owner=BB-West hours=22-4\n");
+  const auto terms = p.terms(fig_.backbone_west);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_TRUE(terms[0].hour_in_window(23));
+  EXPECT_TRUE(terms[0].hour_in_window(2));
+  EXPECT_FALSE(terms[0].hour_in_window(12));
+  const std::string text = format_policies(fig_.topo, p);
+  const PolicySet reparsed = parse_ok(text);
+  EXPECT_EQ(reparsed.terms(fig_.backbone_west)[0], terms[0]);
+}
+
+TEST_F(DslTest, FindAdByName) {
+  EXPECT_EQ(find_ad_by_name(fig_.topo, "BB-West"), fig_.backbone_west);
+  EXPECT_FALSE(find_ad_by_name(fig_.topo, "nope").has_value());
+}
+
+}  // namespace
+}  // namespace idr

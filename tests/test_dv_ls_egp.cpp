@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "proto/dv/dv_node.hpp"
+#include "proto/egp/egp_node.hpp"
+#include "proto/ls/ls_node.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/algos.hpp"
+#include "topology/figure1.hpp"
+
+namespace idr {
+namespace {
+
+// Harness owning a topology, engine, network and typed nodes.
+template <typename NodeT>
+struct Net {
+  explicit Net(Topology t) : topo(std::move(t)), net(engine, topo) {}
+
+  template <typename... Args>
+  void attach_all(Args&&... args) {
+    for (const Ad& ad : topo.ads()) {
+      auto node = std::make_unique<NodeT>(args...);
+      nodes.push_back(node.get());
+      net.attach(ad.id, std::move(node));
+    }
+  }
+  void converge() {
+    net.start_all();
+    engine.run();
+  }
+
+  Topology topo;
+  Engine engine;
+  Network net;
+  std::vector<NodeT*> nodes;
+};
+
+Topology line(int n) {
+  Topology t;
+  for (int i = 0; i < n; ++i) t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  for (int i = 1; i < n; ++i) {
+    t.add_link(AdId{static_cast<std::uint32_t>(i - 1)},
+               AdId{static_cast<std::uint32_t>(i)}, LinkClass::kLateral);
+  }
+  return t;
+}
+
+TEST(Dv, ConvergesOnLine) {
+  Net<DvNode> net(line(5));
+  net.attach_all();
+  net.converge();
+  EXPECT_EQ(net.nodes[0]->distance(AdId{4}), 4);
+  EXPECT_EQ(*net.nodes[0]->next_hop(AdId{4}), AdId{1});
+  EXPECT_EQ(net.nodes[4]->distance(AdId{0}), 4);
+}
+
+TEST(Dv, ConvergesOnFigure1) {
+  Net<DvNode> net(build_figure1().topo);
+  net.attach_all();
+  net.converge();
+  // Every node can reach every other node.
+  for (DvNode* node : net.nodes) {
+    for (const Ad& ad : net.topo.ads()) {
+      EXPECT_LT(node->distance(ad.id), 16);
+    }
+  }
+}
+
+TEST(Dv, RoutesFollowShortestHops) {
+  Figure1 fig = build_figure1();
+  Net<DvNode> net(fig.topo);
+  net.attach_all();
+  net.converge();
+  for (const Ad& dst : net.topo.ads()) {
+    const auto dist = hop_distances(net.topo, dst.id);
+    for (const Ad& src : net.topo.ads()) {
+      EXPECT_EQ(net.nodes[src.id.v]->distance(dst.id), dist[src.id.v]);
+    }
+  }
+}
+
+TEST(Dv, LinkFailureReconverges) {
+  Net<DvNode> net(line(4));
+  net.attach_all();
+  net.converge();
+  EXPECT_EQ(net.nodes[0]->distance(AdId{3}), 3);
+  net.net.set_link_state(*net.topo.find_link(AdId{2}, AdId{3}), false);
+  net.engine.run();
+  // No alternative path: destination becomes unreachable.
+  EXPECT_FALSE(net.nodes[0]->next_hop(AdId{3}).has_value());
+}
+
+// Triangle with a slow third side plus a pendant destination: when the
+// pendant link dies, the slow side keeps stale information circulating
+// and the metric for the dead destination counts up in a three-node loop
+// (split horizon cannot stop loops of length three). The climb is
+// bounded by the configured infinity; shrinking infinity shrinks the
+// message storm -- the classic count-to-infinity behaviour the paper
+// cites against DV (§4.3).
+Topology delayed_triangle() {
+  Topology t;
+  for (int i = 0; i < 4; ++i) t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  t.add_link(AdId{0}, AdId{1}, LinkClass::kLateral, /*delay=*/1.0);
+  t.add_link(AdId{1}, AdId{2}, LinkClass::kLateral, /*delay=*/1.0);
+  t.add_link(AdId{0}, AdId{2}, LinkClass::kLateral, /*delay=*/50.0);
+  t.add_link(AdId{2}, AdId{3}, LinkClass::kLateral, /*delay=*/1.0);
+  return t;
+}
+
+std::uint64_t reconvergence_msgs(std::uint16_t infinity) {
+  DvConfig config;
+  config.split_horizon = false;
+  config.infinity = infinity;
+  Net<DvNode> net(delayed_triangle());
+  net.attach_all(config);
+  net.converge();
+  const auto before = net.net.total().msgs_sent;
+  net.net.set_link_state(*net.topo.find_link(AdId{2}, AdId{3}), false);
+  net.engine.run();
+  // Destination 3 must end unreachable from everywhere.
+  for (DvNode* node : net.nodes) {
+    if (node == net.nodes[3]) continue;
+    EXPECT_FALSE(node->next_hop(AdId{3}).has_value());
+  }
+  return net.net.total().msgs_sent - before;
+}
+
+TEST(Dv, CountToInfinityBoundedByMetricCeiling) {
+  const std::uint64_t msgs_small = reconvergence_msgs(8);
+  const std::uint64_t msgs_large = reconvergence_msgs(64);
+  // The storm grows with the metric ceiling: the protocol is literally
+  // counting to infinity.
+  EXPECT_LT(msgs_small, msgs_large);
+  EXPECT_GT(msgs_large, 3 * msgs_small / 2);
+}
+
+TEST(Dv, PoisonedReverseAdvertisesInfinity) {
+  DvConfig pr;
+  pr.split_horizon = true;
+  pr.poisoned_reverse = true;
+  Net<DvNode> net(line(3));
+  net.attach_all(pr);
+  net.converge();
+  EXPECT_EQ(net.nodes[0]->distance(AdId{2}), 2);
+}
+
+TEST(Ls, ConvergesAndMatchesDijkstra) {
+  Figure1 fig = build_figure1();
+  Net<LsNode> net(fig.topo);
+  net.attach_all();
+  net.converge();
+  for (LsNode* node : net.nodes) {
+    EXPECT_EQ(node->lsdb_size(), net.topo.ad_count());
+  }
+  // Default QoS uses the administrative metric (all 1): next hops follow
+  // hop-count shortest paths.
+  const auto path = shortest_path_hops(net.topo, fig.campus[0],
+                                       fig.campus[6]);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*net.nodes[fig.campus[0].v]->next_hop(fig.campus[6],
+                                                  Qos::kDefault),
+            (*path)[1]);
+}
+
+TEST(Ls, QosMetricsDiffer) {
+  // Low-delay QoS weights link delay: a low-metric high-delay link should
+  // be preferred for default QoS but possibly not for low delay.
+  Topology t;
+  const AdId a = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  const AdId b = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  const AdId c = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  t.add_link(a, c, LinkClass::kLateral, /*delay=*/100.0, /*metric=*/1);
+  t.add_link(a, b, LinkClass::kLateral, /*delay=*/1.0, /*metric=*/5);
+  t.add_link(b, c, LinkClass::kLateral, /*delay=*/1.0, /*metric=*/5);
+  Net<LsNode> net(t);
+  net.attach_all();
+  net.converge();
+  EXPECT_EQ(*net.nodes[a.v]->next_hop(c, Qos::kDefault), c);
+  EXPECT_EQ(*net.nodes[a.v]->next_hop(c, Qos::kLowDelay), b);
+}
+
+TEST(Ls, LinkFailureTriggersReflood) {
+  Figure1 fig = build_figure1();
+  Net<LsNode> net(fig.topo);
+  net.attach_all();
+  net.converge();
+  // Before the cut, BB-West reaches campus0 via Reg-0.
+  ASSERT_EQ(*net.nodes[fig.backbone_west.v]->next_hop(fig.campus[0],
+                                                      Qos::kDefault),
+            fig.regional[0]);
+  // Cut campus0's only link: after re-flooding, every node must see it
+  // as unreachable.
+  const LinkId cut = *net.topo.find_link(fig.regional[0], fig.campus[0]);
+  net.net.set_link_state(cut, false);
+  net.engine.run();
+  const auto next =
+      net.nodes[fig.backbone_west.v]->next_hop(fig.campus[0], Qos::kDefault);
+  EXPECT_FALSE(next.has_value());
+  // And the rest of the topology still routes (re-flood did not wedge).
+  EXPECT_TRUE(net.nodes[fig.backbone_west.v]
+                  ->next_hop(fig.campus[6], Qos::kDefault)
+                  .has_value());
+}
+
+TEST(Ls, SpfRunsCounted) {
+  Net<LsNode> net(line(3));
+  net.attach_all();
+  net.converge();
+  EXPECT_EQ(net.nodes[0]->spf_runs(), 0u);  // lazy
+  (void)net.nodes[0]->next_hop(AdId{2}, Qos::kDefault);
+  EXPECT_EQ(net.nodes[0]->spf_runs(), kQosCount);
+}
+
+TEST(Egp, ApplicabilityCheck) {
+  EXPECT_TRUE(egp_applicable(line(4)));
+  EXPECT_FALSE(egp_applicable(build_figure1().topo));
+  Topology cyclic = line(3);
+  cyclic.add_link(AdId{0}, AdId{2}, LinkClass::kLateral);
+  EXPECT_FALSE(egp_applicable(cyclic));
+}
+
+TEST(Egp, ConvergesOnTree) {
+  // Star of lines: a small tree.
+  Topology t;
+  const AdId root = t.add_ad(AdClass::kBackbone, AdRole::kTransit);
+  std::vector<AdId> leaves;
+  for (int i = 0; i < 3; ++i) {
+    const AdId mid = t.add_ad(AdClass::kRegional, AdRole::kTransit);
+    t.add_link(root, mid, LinkClass::kHierarchical);
+    const AdId leaf = t.add_ad(AdClass::kCampus, AdRole::kStub);
+    t.add_link(mid, leaf, LinkClass::kHierarchical);
+    leaves.push_back(leaf);
+  }
+  Net<EgpNode> net(t);
+  net.attach_all();
+  net.converge();
+  EXPECT_EQ(net.nodes[leaves[0].v]->distance(leaves[2]), 4);
+  EXPECT_TRUE(net.nodes[leaves[0].v]->next_hop(leaves[1]).has_value());
+}
+
+TEST(Egp, ExportFilterHidesDestinations) {
+  Topology t = line(3);
+  Engine engine;
+  Network net(engine, t);
+  std::vector<EgpNode*> nodes;
+  for (const Ad& ad : t.ads()) {
+    auto node = std::make_unique<EgpNode>();
+    nodes.push_back(node.get());
+    net.attach(ad.id, std::move(node));
+  }
+  // Node 1 only shares its own reachability (stub behaviour): node 0
+  // must not learn a route to node 2.
+  nodes[1]->set_export_filter({1});
+  net.start_all();
+  engine.run();
+  EXPECT_TRUE(nodes[0]->next_hop(AdId{1}).has_value());
+  EXPECT_FALSE(nodes[0]->next_hop(AdId{2}).has_value());
+}
+
+TEST(Egp, NeighborBiasDisfavorsRoutes) {
+  // Diamond is cyclic, so bias is tested on a line: bias inflates the
+  // learned metric.
+  Topology t = line(3);
+  Engine engine;
+  Network net(engine, t);
+  std::vector<EgpNode*> nodes;
+  for (const Ad& ad : t.ads()) {
+    auto node = std::make_unique<EgpNode>();
+    nodes.push_back(node.get());
+    net.attach(ad.id, std::move(node));
+  }
+  nodes[0]->set_neighbor_bias(AdId{1}, 10);
+  net.start_all();
+  engine.run();
+  EXPECT_EQ(nodes[0]->distance(AdId{2}), 12);  // 2 hops + bias 10
+}
+
+TEST(Egp, WithdrawalOnLinkFailure) {
+  Topology t = line(3);
+  Engine engine;
+  Network net(engine, t);
+  std::vector<EgpNode*> nodes;
+  for (const Ad& ad : t.ads()) {
+    auto node = std::make_unique<EgpNode>();
+    nodes.push_back(node.get());
+    net.attach(ad.id, std::move(node));
+  }
+  net.start_all();
+  engine.run();
+  ASSERT_TRUE(nodes[0]->next_hop(AdId{2}).has_value());
+  net.set_link_state(*t.find_link(AdId{1}, AdId{2}), false);
+  engine.run();
+  EXPECT_FALSE(nodes[0]->next_hop(AdId{2}).has_value());
+}
+
+}  // namespace
+}  // namespace idr

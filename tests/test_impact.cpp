@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "core/impact.hpp"
+#include "core/scenario.hpp"
+#include "policy/generator.hpp"
+#include "topology/dot.hpp"
+#include "topology/figure1.hpp"
+
+namespace idr {
+namespace {
+
+class ImpactTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = build_figure1();
+    policies_ = make_open_policies(fig_.topo);
+    // A representative flow sample across the figure.
+    for (int s : {0, 1, 2, 3}) {
+      for (int d : {4, 5, 6, 7}) {
+        flows_.push_back(FlowSpec{fig_.campus[s], fig_.campus[d]});
+      }
+    }
+  }
+  Figure1 fig_;
+  PolicySet policies_;
+  std::vector<FlowSpec> flows_;
+};
+
+TEST_F(ImpactTest, NoOpChangeHasNoImpact) {
+  const auto current = policies_.terms(fig_.backbone_west);
+  const std::vector<PolicyTerm> same(current.begin(), current.end());
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, same, flows_);
+  EXPECT_EQ(report.lost_route, 0u);
+  EXPECT_EQ(report.gained_route, 0u);
+  EXPECT_EQ(report.cost_increased, 0u);
+  EXPECT_EQ(report.cost_decreased, 0u);
+  EXPECT_EQ(report.transit_before, report.transit_after);
+}
+
+TEST_F(ImpactTest, WithdrawingAllTransitLosesRoutes) {
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, {}, flows_);
+  // All west-to-east flows lose their only legal route (Reg-0/Reg-1's
+  // campuses are stranded behind BB-West)... except those with the
+  // Reg-1 > Reg-2 lateral escape.
+  EXPECT_GT(report.lost_route, 0u);
+  EXPECT_EQ(report.gained_route, 0u);
+  EXPECT_EQ(report.transit_after, 0u);
+  EXPECT_GT(report.transit_before, 0u);
+}
+
+TEST_F(ImpactTest, RaisingCostShiftsTraffic) {
+  // BB-West raises its price to 50: flows with a lateral alternative
+  // divert; the rest pay more.
+  std::vector<PolicyTerm> pricey{open_transit_term(fig_.backbone_west, 0,
+                                                   /*cost=*/50)};
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, pricey, flows_);
+  EXPECT_EQ(report.lost_route, 0u);
+  EXPECT_GT(report.cost_increased, 0u);
+  EXPECT_LE(report.transit_after, report.transit_before);
+}
+
+TEST_F(ImpactTest, AupChangeStrandsOnlyAffectedClass) {
+  // The flow sample is research-class; an AUP restricted to research
+  // must not strand any of it.
+  PolicyTerm aup = open_transit_term(fig_.backbone_west);
+  aup.uci_mask = uci_bit(UserClass::kResearch);
+  const ImpactReport research_report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, {&aup, 1}, flows_);
+  EXPECT_EQ(research_report.lost_route, 0u);
+
+  // Commercial-class flows behind BB-West are stranded by the same
+  // change.
+  std::vector<FlowSpec> commercial = flows_;
+  for (FlowSpec& flow : commercial) flow.uci = UserClass::kCommercial;
+  const ImpactReport commercial_report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, {&aup, 1}, commercial);
+  EXPECT_GT(commercial_report.lost_route, 0u);
+}
+
+TEST_F(ImpactTest, OpeningTransitGainsRoutes) {
+  // Start from a world where BB-East carries nothing, then open it.
+  PolicySet restricted(fig_.topo.ad_count());
+  for (const Ad& ad : fig_.topo.ads()) {
+    if (ad.id == fig_.backbone_east) continue;
+    for (const PolicyTerm& t : policies_.terms(ad.id)) {
+      restricted.add_term(t);
+    }
+  }
+  std::vector<PolicyTerm> open{open_transit_term(fig_.backbone_east)};
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, restricted, fig_.backbone_east, open, flows_);
+  EXPECT_GT(report.gained_route, 0u);
+  EXPECT_EQ(report.lost_route, 0u);
+}
+
+TEST_F(ImpactTest, SummaryMentionsTheAd) {
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, {}, flows_);
+  const std::string text = report.summary(fig_.topo);
+  EXPECT_NE(text.find("BB-West"), std::string::npos);
+  EXPECT_NE(text.find("routes lost"), std::string::npos);
+}
+
+TEST_F(ImpactTest, DetailsCoverEveryFlow) {
+  const ImpactReport report = analyze_policy_change(
+      fig_.topo, policies_, fig_.backbone_west, {}, flows_);
+  ASSERT_EQ(report.details.size(), flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    EXPECT_EQ(report.details[i].flow, flows_[i]);
+  }
+}
+
+TEST(DotExport, ContainsNodesAndStyles) {
+  const Figure1 fig = build_figure1();
+  const std::string dot = to_dot(fig.topo);
+  EXPECT_NE(dot.find("graph interad"), std::string::npos);
+  EXPECT_NE(dot.find("BB-West"), std::string::npos);
+  EXPECT_NE(dot.find("Campus-MH"), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted color=blue"), std::string::npos);   // lateral
+  EXPECT_NE(dot.find("style=bold color=darkgreen"), std::string::npos);  // bypass
+}
+
+TEST(DotExport, HighlightsPath) {
+  const Figure1 fig = build_figure1();
+  const std::vector<AdId> path{fig.campus[0], fig.regional[0],
+                               fig.backbone_west};
+  DotOptions options;
+  options.highlight_path = path;
+  const std::string dot = to_dot(fig.topo, options);
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);
+}
+
+TEST(DotExport, DownLinksDashed) {
+  Figure1 fig = build_figure1();
+  fig.topo.set_link_up(fig.bypass, false);
+  const std::string dot = to_dot(fig.topo);
+  EXPECT_NE(dot.find("style=dashed color=gray"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idr

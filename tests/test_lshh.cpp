@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "policy/generator.hpp"
+#include "proto/lshh/lshh_node.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/figure1.hpp"
+
+namespace idr {
+namespace {
+
+TEST(PolicyLsdbUnit, InsertKeepsNewestPerOrigin) {
+  PolicyLsdb db;
+  PolicyLsa lsa;
+  lsa.origin = AdId{3};
+  lsa.seq = 5;
+  EXPECT_TRUE(db.insert(lsa));
+  EXPECT_EQ(db.version(), 1u);
+  lsa.seq = 4;
+  EXPECT_FALSE(db.insert(lsa));  // stale
+  EXPECT_EQ(db.version(), 1u);
+  lsa.seq = 5;
+  EXPECT_FALSE(db.insert(lsa));  // duplicate
+  lsa.seq = 6;
+  EXPECT_TRUE(db.insert(lsa));
+  EXPECT_EQ(db.version(), 2u);
+  EXPECT_EQ(db.get(AdId{3})->seq, 6u);
+  EXPECT_EQ(db.get(AdId{9}), nullptr);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PolicyLsdbUnit, ViewRequiresBidirectionalAdjacency) {
+  PolicyLsdb db;
+  PolicyLsa a;
+  a.origin = AdId{0};
+  a.seq = 1;
+  a.adjacencies.push_back(PolicyLsaAdjacency{AdId{1}, 4});
+  db.insert(a);
+  const LsdbView view(db, 2);
+  // Only one side advertises the link: unusable.
+  int seen = 0;
+  view.for_each_neighbor(AdId{0}, [&](AdId, std::uint32_t) { ++seen; });
+  EXPECT_EQ(seen, 0);
+  PolicyLsa b;
+  b.origin = AdId{1};
+  b.seq = 1;
+  b.adjacencies.push_back(PolicyLsaAdjacency{AdId{0}, 4});
+  db.insert(b);
+  view.for_each_neighbor(AdId{0}, [&](AdId n, std::uint32_t m) {
+    ++seen;
+    EXPECT_EQ(n, AdId{1});
+    EXPECT_EQ(m, 4u);
+  });
+  EXPECT_EQ(seen, 1);
+}
+
+TEST(PolicyLsdbUnit, TransitCostPicksCheapestPermittingTerm) {
+  PolicyLsdb db;
+  PolicyLsa lsa;
+  lsa.origin = AdId{2};
+  lsa.seq = 1;
+  PolicyTerm expensive = open_transit_term(AdId{2}, 0, 9);
+  PolicyTerm cheap = open_transit_term(AdId{2}, 1, 2);
+  cheap.uci_mask = uci_bit(UserClass::kResearch);
+  lsa.terms = {expensive, cheap};
+  db.insert(lsa);
+  const LsdbView view(db, 3);
+  FlowSpec research{AdId{0}, AdId{1}, Qos::kDefault, UserClass::kResearch,
+                    12};
+  FlowSpec commercial = research;
+  commercial.uci = UserClass::kCommercial;
+  EXPECT_EQ(view.transit_cost(AdId{2}, research, AdId{0}, AdId{1}), 2u);
+  EXPECT_EQ(view.transit_cost(AdId{2}, commercial, AdId{0}, AdId{1}), 9u);
+  EXPECT_FALSE(
+      view.transit_cost(AdId{1}, research, AdId{0}, AdId{2}).has_value());
+}
+
+class LshhTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = build_figure1();
+    policies_ = make_open_policies(fig_.topo);
+  }
+
+  void converge() {
+    net_ = std::make_unique<Network>(engine_, fig_.topo);
+    for (const Ad& ad : fig_.topo.ads()) {
+      auto node = std::make_unique<LshhNode>(&policies_);
+      nodes_.push_back(node.get());
+      net_->attach(ad.id, std::move(node));
+    }
+    net_->start_all();
+    engine_.run();
+  }
+
+  std::optional<std::vector<AdId>> route(const FlowSpec& flow) {
+    std::vector<AdId> path{flow.src};
+    AdId cur = flow.src;
+    std::size_t guard = 0;
+    while (cur != flow.dst) {
+      if (++guard > fig_.topo.ad_count()) return std::nullopt;
+      const auto next = nodes_[cur.v]->forward(flow);
+      if (!next) return std::nullopt;
+      path.push_back(*next);
+      cur = *next;
+    }
+    return path;
+  }
+
+  Figure1 fig_;
+  PolicySet policies_;
+  Engine engine_;
+  std::unique_ptr<Network> net_;
+  std::vector<LshhNode*> nodes_;
+};
+
+TEST_F(LshhTest, LsdbFullyFloods) {
+  converge();
+  for (LshhNode* node : nodes_) {
+    EXPECT_EQ(node->lsdb().size(), fig_.topo.ad_count());
+  }
+}
+
+TEST_F(LshhTest, AllNodesComputeConsistentPaths) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  // Every AD on the path agrees on the successor chain: walking from the
+  // source must succeed and stay legal.
+  const auto path = route(flow);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, *path));
+}
+
+TEST_F(LshhTest, HonorsPublishedSourcePolicy) {
+  policies_.source_policy(fig_.campus[0]).avoid.push_back(
+      fig_.backbone_east);
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[4]};
+  const auto path = route(flow);
+  ASSERT_TRUE(path.has_value());
+  for (AdId ad : *path) EXPECT_NE(ad, fig_.backbone_east);
+  // The source's criteria were necessarily disclosed in its LSA: every
+  // other AD can read them (the paper's privacy cost of LS hop-by-hop).
+  const PolicyLsa* lsa = nodes_[fig_.campus[7].v]->lsdb().get(fig_.campus[0]);
+  ASSERT_NE(lsa, nullptr);
+  ASSERT_TRUE(lsa->has_source_policy);
+  ASSERT_EQ(lsa->avoid.size(), 1u);
+  EXPECT_EQ(lsa->avoid[0], fig_.backbone_east);
+}
+
+TEST_F(LshhTest, SourceSpecificPolicyRouting) {
+  // BB-West carries only campus0-sourced traffic; campus1 must route
+  // around (impossible here except via lateral campus links where legal).
+  policies_.clear_terms(fig_.backbone_west);
+  PolicyTerm t = open_transit_term(fig_.backbone_west);
+  t.sources = AdSet::of({fig_.campus[0]});
+  policies_.add_term(t);
+  converge();
+  const auto ok = route(FlowSpec{fig_.campus[0], fig_.campus[6]});
+  ASSERT_TRUE(ok.has_value());
+  // campus2's traffic may not cross BB-West. campus2 -> campus4 has the
+  // Reg-1/Reg-2 lateral alternative and must use it.
+  const auto alt = route(FlowSpec{fig_.campus[2], fig_.campus[4]});
+  ASSERT_TRUE(alt.has_value());
+  for (AdId ad : *alt) EXPECT_NE(ad, fig_.backbone_west);
+}
+
+TEST_F(LshhTest, PerFlowCacheGrowsPerSource) {
+  converge();
+  // Transit AD caches one entry per (source, dest, class) -- the paper's
+  // state-blowup claim for hop-by-hop link state.
+  LshhNode* bbw = nodes_[fig_.backbone_west.v];
+  const std::size_t before = bbw->cache_entries();
+  for (int c = 0; c < 4; ++c) {
+    FlowSpec flow{fig_.campus[c], fig_.campus[6]};
+    (void)bbw->forward(flow);
+  }
+  EXPECT_EQ(bbw->cache_entries(), before + 4);
+  // Re-asking for a cached flow hits the cache, no new computation.
+  const auto comps = bbw->path_computations();
+  (void)bbw->forward(FlowSpec{fig_.campus[0], fig_.campus[6]});
+  EXPECT_EQ(bbw->path_computations(), comps);
+  EXPECT_GT(bbw->cache_hits(), 0u);
+}
+
+TEST_F(LshhTest, OffPathNodeDropsPacket) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[1]};  // both under Reg-0
+  // BB-East is nowhere near the agreed path; if a packet strayed there,
+  // it must be dropped rather than re-routed inconsistently.
+  EXPECT_FALSE(nodes_[fig_.backbone_east.v]->forward(flow).has_value());
+}
+
+TEST_F(LshhTest, ReconvergesAfterLinkFailure) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  ASSERT_TRUE(route(flow).has_value());
+  net_->set_link_state(
+      *fig_.topo.find_link(fig_.backbone_west, fig_.backbone_east), false);
+  engine_.run();
+  const auto path = route(flow);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, *path));
+}
+
+TEST_F(LshhTest, CacheInvalidatedByNewLsa) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  LshhNode* src = nodes_[fig_.campus[0].v];
+  (void)src->forward(flow);
+  const auto comps = src->path_computations();
+  net_->set_link_state(
+      *fig_.topo.find_link(fig_.backbone_west, fig_.backbone_east), false);
+  engine_.run();
+  (void)src->forward(flow);
+  EXPECT_GT(src->path_computations(), comps);  // cache was version-stale
+}
+
+}  // namespace
+}  // namespace idr

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "policy/generator.hpp"
+#include "proto/orwg/orwg_node.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/figure1.hpp"
+
+namespace idr {
+namespace {
+
+class OrwgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = build_figure1();
+    policies_ = make_open_policies(fig_.topo);
+  }
+
+  void converge(OrwgConfig config = {}) {
+    net_ = std::make_unique<Network>(engine_, fig_.topo);
+    for (const Ad& ad : fig_.topo.ads()) {
+      auto node = std::make_unique<OrwgNode>(&policies_, config);
+      nodes_.push_back(node.get());
+      net_->attach(ad.id, std::move(node));
+    }
+    net_->start_all();
+    engine_.run();
+  }
+
+  Figure1 fig_;
+  PolicySet policies_;
+  Engine engine_;
+  std::unique_ptr<Network> net_;
+  std::vector<OrwgNode*> nodes_;
+};
+
+TEST_F(OrwgTest, PolicyLsasFullyFlood) {
+  converge();
+  for (OrwgNode* node : nodes_) {
+    EXPECT_EQ(node->lsdb().size(), fig_.topo.ad_count());
+  }
+  // Source policies are NOT published (contrast LSHH).
+  const PolicyLsa* lsa = nodes_[fig_.campus[7].v]->lsdb().get(fig_.campus[0]);
+  ASSERT_NE(lsa, nullptr);
+  EXPECT_FALSE(lsa->has_source_policy);
+}
+
+TEST_F(OrwgTest, RouteServerSynthesizesLegalRoute) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  const auto path = nodes_[flow.src.v]->policy_route(flow);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, *path));
+}
+
+TEST_F(OrwgTest, SetupEstablishesPrAndDeliversData) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  OrwgNode* src = nodes_[flow.src.v];
+  OrwgNode* dst = nodes_[flow.dst.v];
+  ASSERT_TRUE(src->send_flow(flow, 10));
+  engine_.run();
+  EXPECT_EQ(dst->delivered(), 10u);
+  EXPECT_EQ(src->setup_latency_ms().count(), 1u);
+  EXPECT_GT(src->setup_latency_ms().mean(), 0.0);
+  // Every transit AD on the path installed exactly one handle.
+  const auto path = src->policy_route(flow);
+  ASSERT_TRUE(path.has_value());
+  for (AdId ad : *path) {
+    EXPECT_GE(nodes_[ad.v]->gateway().installed(), 1u);
+  }
+}
+
+TEST_F(OrwgTest, SecondFlowReusesEstablishedPr) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  OrwgNode* src = nodes_[flow.src.v];
+  ASSERT_TRUE(src->send_flow(flow, 5));
+  engine_.run();
+  ASSERT_TRUE(src->send_flow(flow, 5));  // same PR, no new setup
+  engine_.run();
+  EXPECT_EQ(nodes_[flow.dst.v]->delivered(), 10u);
+  EXPECT_EQ(src->setup_latency_ms().count(), 1u);  // only one setup ever
+  EXPECT_EQ(src->route_server().synth_calls(), 1u);
+}
+
+TEST_F(OrwgTest, PolicyViolatingSetupIsNakked) {
+  converge();
+  // After convergence, quietly tighten BB-East's real policy so the
+  // flooded LSDB is stale: the route server will synthesize a route the
+  // policy gateway must reject.
+  policies_.clear_terms(fig_.backbone_east);
+  PolicyTerm t = open_transit_term(fig_.backbone_east);
+  t.uci_mask = uci_bit(UserClass::kResearch);
+  policies_.add_term(t);
+  FlowSpec commercial{fig_.campus[0], fig_.campus[6], Qos::kDefault,
+                      UserClass::kCommercial, 12};
+  OrwgNode* src = nodes_[commercial.src.v];
+  ASSERT_TRUE(src->send_flow(commercial, 3));
+  engine_.run();
+  EXPECT_EQ(nodes_[commercial.dst.v]->delivered(), 0u);
+  EXPECT_EQ(src->setup_naks(), 1u);
+  EXPECT_GE(nodes_[fig_.backbone_east.v]->gateway().setups_rejected(), 1u);
+}
+
+TEST_F(OrwgTest, DataWithUnknownHandleDropped) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  OrwgNode* src = nodes_[flow.src.v];
+  ASSERT_TRUE(src->send_flow(flow, 1));
+  engine_.run();
+  // Flush the PR caches at a transit AD (models local policy change).
+  const auto path = src->policy_route(flow);
+  ASSERT_TRUE(path.has_value());
+  const AdId mid = (*path)[1];
+  nodes_[mid.v]->gateway().flush();
+  const auto before = nodes_[flow.dst.v]->delivered();
+  src->send_flow(flow, 4);  // source still believes the PR is active
+  engine_.run();
+  EXPECT_EQ(nodes_[flow.dst.v]->delivered(), before);
+  EXPECT_EQ(nodes_[mid.v]->data_drops(), 4u);
+}
+
+TEST_F(OrwgTest, QosRestrictedTermsSteerRoutes) {
+  // BB-West carries only low-delay traffic: default-QoS flows between the
+  // backbones' customers must cross via the regional lateral.
+  policies_.clear_terms(fig_.backbone_west);
+  PolicyTerm t = open_transit_term(fig_.backbone_west);
+  t.qos_mask = qos_bit(Qos::kLowDelay);
+  policies_.add_term(t);
+  converge();
+  FlowSpec def{fig_.campus[2], fig_.campus[4], Qos::kDefault,
+               UserClass::kResearch, 12};
+  const auto path = nodes_[def.src.v]->policy_route(def);
+  ASSERT_TRUE(path.has_value());
+  for (AdId ad : *path) EXPECT_NE(ad, fig_.backbone_west);
+  FlowSpec low{fig_.campus[2], fig_.campus[4], Qos::kLowDelay,
+               UserClass::kResearch, 12};
+  EXPECT_TRUE(nodes_[low.src.v]->policy_route(low).has_value());
+}
+
+TEST_F(OrwgTest, PrivateAvoidListHonoredWithoutDisclosure) {
+  policies_.source_policy(fig_.campus[0]).avoid.push_back(
+      fig_.backbone_east);
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[4]};
+  const auto path = nodes_[flow.src.v]->policy_route(flow);
+  ASSERT_TRUE(path.has_value());
+  for (AdId ad : *path) EXPECT_NE(ad, fig_.backbone_east);
+  // And the criteria never appeared in any LSA.
+  const PolicyLsa* lsa = nodes_[fig_.campus[7].v]->lsdb().get(fig_.campus[0]);
+  ASSERT_NE(lsa, nullptr);
+  EXPECT_FALSE(lsa->has_source_policy);
+}
+
+TEST_F(OrwgTest, CacheRevalidatesAfterIrrelevantChange) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[1]};  // stays inside Reg-0
+  OrwgNode* src = nodes_[flow.src.v];
+  ASSERT_TRUE(src->policy_route(flow).has_value());
+  EXPECT_EQ(src->route_server().synth_calls(), 1u);
+  // An unrelated link fails far away; the cached PR must revalidate
+  // without resynthesis.
+  net_->set_link_state(
+      *fig_.topo.find_link(fig_.regional[3], fig_.campus[7]), false);
+  engine_.run();
+  ASSERT_TRUE(src->policy_route(flow).has_value());
+  EXPECT_EQ(src->route_server().synth_calls(), 1u);
+  EXPECT_GE(src->route_server().revalidations(), 1u);
+}
+
+TEST_F(OrwgTest, ResynthesizesAfterRelevantFailure) {
+  converge();
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  OrwgNode* src = nodes_[flow.src.v];
+  const auto before = src->policy_route(flow);
+  ASSERT_TRUE(before.has_value());
+  // The min-cost route crosses the inter-backbone link; cut it (the
+  // lateral Reg-1/Reg-2 detour remains, so resynthesis must succeed).
+  const auto link =
+      fig_.topo.find_link(fig_.backbone_west, fig_.backbone_east);
+  ASSERT_TRUE(link.has_value());
+  bool on_path = false;
+  for (std::size_t i = 0; i + 1 < before->size(); ++i) {
+    if (((*before)[i] == fig_.backbone_west &&
+         (*before)[i + 1] == fig_.backbone_east)) {
+      on_path = true;
+    }
+  }
+  ASSERT_TRUE(on_path);
+  net_->set_link_state(*link, false);
+  engine_.run();
+  const auto after = src->policy_route(flow);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, *after));
+  EXPECT_EQ(src->route_server().synth_calls(), 2u);
+}
+
+TEST_F(OrwgTest, PrecomputationFillsCache) {
+  OrwgConfig config;
+  config.route_server.strategy = SynthesisStrategy::kPrecompute;
+  converge(config);
+  OrwgNode* src = nodes_[fig_.campus[0].v];
+  src->precompute_all();
+  const auto precomputed = src->route_server().cache_size();
+  EXPECT_GT(precomputed, 0u);
+  // A default-class flow to a precomputed destination is a cache hit.
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  ASSERT_TRUE(src->policy_route(flow).has_value());
+  EXPECT_GT(src->route_server().cache_hits(), 0u);
+}
+
+TEST_F(OrwgTest, AccountingMetersTransitUsage) {
+  // Give BB-West a priced term so invoices are non-trivial.
+  policies_.clear_terms(fig_.backbone_west);
+  policies_.add_term(open_transit_term(fig_.backbone_west, 0, /*cost=*/3));
+  converge();
+  FlowSpec flow_a{fig_.campus[0], fig_.campus[6]};
+  FlowSpec flow_b{fig_.campus[1], fig_.campus[6]};
+  ASSERT_TRUE(nodes_[flow_a.src.v]->send_flow(flow_a, 10));
+  ASSERT_TRUE(nodes_[flow_b.src.v]->send_flow(flow_b, 5));
+  engine_.run();
+
+  PolicyGateway& bbw = nodes_[fig_.backbone_west.v]->gateway();
+  // Both flows crossed BB-West at 3 per packet.
+  EXPECT_EQ(bbw.total_revenue(), 10u * 3 + 5u * 3);
+  const auto invoices = bbw.invoices();
+  ASSERT_EQ(invoices.size(), 2u);
+  EXPECT_EQ(invoices[0].source, fig_.campus[0]);
+  EXPECT_EQ(invoices[0].packets, 10u);
+  EXPECT_EQ(invoices[0].amount, 30u);
+  EXPECT_EQ(invoices[1].source, fig_.campus[1]);
+  EXPECT_EQ(invoices[1].amount, 15u);
+  EXPECT_GT(invoices[0].bytes, 0u);
+  // Endpoints never charge themselves.
+  EXPECT_EQ(nodes_[flow_a.dst.v]->gateway().total_revenue(), 0u);
+}
+
+// A compromised AD forges an LSA in BB-West's name advertising a fake
+// direct adjacency to every campus. Without authentication the forgery
+// pollutes every LSDB and warps route synthesis; with per-origin LSA
+// authentication (§2.3's assurance dimension) it is dropped at the first
+// honest hop.
+TEST_F(OrwgTest, ForgedLsaRejectedWithAuthentication) {
+  std::vector<std::uint64_t> keys(fig_.topo.ad_count());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = 0x1000 + i;  // toy per-AD keys, distributed out of band
+  }
+  OrwgConfig config;
+  config.lsa_keys = &keys;
+  converge(config);
+
+  // The attacker (campus 3) forges: "BB-West is adjacent to campus 7".
+  PolicyLsa forged;
+  forged.origin = fig_.backbone_west;
+  forged.seq = 1000;  // newer than anything legitimate
+  forged.adjacencies.push_back(PolicyLsaAdjacency{fig_.campus[7], 1});
+  forged.terms.push_back(open_transit_term(fig_.backbone_west));
+  forged.auth = lsa_auth_tag(forged, keys[fig_.campus[3].v]);  // wrong key
+  wire::Writer w;
+  w.u8(OrwgNode::kMsgLsa);
+  forged.encode(w);
+  net_->send(fig_.campus[3], fig_.regional[1], std::move(w).take());
+  engine_.run();
+
+  // The honest neighbor rejected it; nobody's database regressed.
+  EXPECT_GE(nodes_[fig_.regional[1].v]->lsas_rejected_auth(), 1u);
+  const PolicyLsa* stored =
+      nodes_[fig_.campus[0].v]->lsdb().get(fig_.backbone_west);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_LT(stored->seq, 1000u);
+}
+
+TEST_F(OrwgTest, ForgedLsaPollutesWithoutAuthentication) {
+  converge();  // no keys configured
+  PolicyLsa forged;
+  forged.origin = fig_.backbone_west;
+  forged.seq = 1000;
+  forged.adjacencies.push_back(PolicyLsaAdjacency{fig_.campus[7], 1});
+  forged.terms.push_back(open_transit_term(fig_.backbone_west));
+  wire::Writer w;
+  w.u8(OrwgNode::kMsgLsa);
+  forged.encode(w);
+  net_->send(fig_.campus[3], fig_.regional[1], std::move(w).take());
+  engine_.run();
+  // The forgery flooded everywhere and replaced the legitimate LSA.
+  const PolicyLsa* stored =
+      nodes_[fig_.campus[0].v]->lsdb().get(fig_.backbone_west);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->seq, 1000u);
+}
+
+TEST_F(OrwgTest, NoRouteReportedAsFailure) {
+  // Isolate campus7 by policy: nothing may transit toward it... easiest:
+  // cut its only link after convergence and re-flood.
+  converge();
+  net_->set_link_state(
+      *fig_.topo.find_link(fig_.regional[3], fig_.campus[7]), false);
+  engine_.run();
+  FlowSpec flow{fig_.campus[0], fig_.campus[7]};
+  OrwgNode* src = nodes_[flow.src.v];
+  EXPECT_FALSE(src->send_flow(flow, 1));
+  EXPECT_EQ(src->route_failures(), 1u);
+}
+
+}  // namespace
+}  // namespace idr

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "topology/algos.hpp"
+#include "topology/figure1.hpp"
+#include "topology/parse.hpp"
+
+namespace idr {
+namespace {
+
+Topology parse_ok(std::string_view text) {
+  TopoParseResult result = parse_topology(text);
+  EXPECT_TRUE(std::holds_alternative<Topology>(result))
+      << std::get<TopoParseError>(result).describe();
+  return std::get<Topology>(std::move(result));
+}
+
+TopoParseError parse_err(std::string_view text) {
+  TopoParseResult result = parse_topology(text);
+  EXPECT_TRUE(std::holds_alternative<TopoParseError>(result));
+  return std::get<TopoParseError>(std::move(result));
+}
+
+TEST(TopoParse, EmptyAndComments) {
+  const Topology t = parse_ok("# nothing here\n\n");
+  EXPECT_EQ(t.ad_count(), 0u);
+}
+
+TEST(TopoParse, AdsAndLinks) {
+  const Topology t = parse_ok(
+      "ad BB backbone transit\n"
+      "ad R regional transit\n"
+      "ad C campus stub\n"
+      "link BB R hierarchical delay=10 metric=2\n"
+      "link R C hierarchical\n");
+  ASSERT_EQ(t.ad_count(), 3u);
+  ASSERT_EQ(t.link_count(), 2u);
+  EXPECT_EQ(t.ad(AdId{0}).cls, AdClass::kBackbone);
+  EXPECT_EQ(t.ad(AdId{2}).role, AdRole::kStub);
+  const Link& l = t.link(LinkId{0});
+  EXPECT_DOUBLE_EQ(l.delay_ms, 10.0);
+  EXPECT_EQ(l.metric, 2u);
+  EXPECT_DOUBLE_EQ(t.link(LinkId{1}).delay_ms, 1.0);  // defaults
+}
+
+TEST(TopoParse, AllClassesRolesKinds) {
+  const Topology t = parse_ok(
+      "ad A backbone transit\n"
+      "ad B regional hybrid\n"
+      "ad C metro multihomed\n"
+      "ad D campus stub\n"
+      "link A B hierarchical\n"
+      "link B C lateral\n"
+      "link C D bypass\n");
+  EXPECT_EQ(t.count_links(LinkClass::kLateral), 1u);
+  EXPECT_EQ(t.count_links(LinkClass::kBypass), 1u);
+  EXPECT_EQ(t.count_ads(AdRole::kHybrid), 1u);
+}
+
+TEST(TopoParse, Errors) {
+  EXPECT_EQ(parse_err("ad X nowhere transit\n").line, 1u);
+  EXPECT_EQ(parse_err("ad X campus boss\n").line, 1u);
+  EXPECT_EQ(parse_err("ad X campus stub\nad X campus stub\n").line, 2u);
+  EXPECT_EQ(parse_err("link A B lateral\n").line, 1u);  // unknown ADs
+  EXPECT_NE(parse_err("frob\n").message.find("frob"), std::string::npos);
+  EXPECT_NE(parse_err("ad A campus stub\nad B campus stub\n"
+                      "link A B lateral delay=-3\n")
+                .message.find("delay"),
+            std::string::npos);
+  EXPECT_NE(parse_err("ad A campus stub\nad B campus stub\n"
+                      "link A B lateral metric=0\n")
+                .message.find("metric"),
+            std::string::npos);
+  // self link and duplicate link
+  parse_err("ad A campus stub\nlink A A lateral\n");
+  parse_err(
+      "ad A campus stub\nad B campus stub\n"
+      "link A B lateral\nlink B A lateral\n");
+}
+
+TEST(TopoParse, RoundTripFigure1) {
+  const Figure1 fig = build_figure1();
+  const std::string text = format_topology(fig.topo);
+  const Topology reparsed = parse_ok(text);
+  ASSERT_EQ(reparsed.ad_count(), fig.topo.ad_count());
+  ASSERT_EQ(reparsed.link_count(), fig.topo.link_count());
+  for (const Ad& ad : fig.topo.ads()) {
+    const Ad& other = reparsed.ad(ad.id);
+    EXPECT_EQ(other.name, ad.name);
+    EXPECT_EQ(other.cls, ad.cls);
+    EXPECT_EQ(other.role, ad.role);
+  }
+  for (const Link& l : fig.topo.links()) {
+    const Link& other = reparsed.link(l.id);
+    EXPECT_EQ(other.a, l.a);
+    EXPECT_EQ(other.b, l.b);
+    EXPECT_EQ(other.cls, l.cls);
+    EXPECT_DOUBLE_EQ(other.delay_ms, l.delay_ms);
+    EXPECT_EQ(other.metric, l.metric);
+  }
+  EXPECT_EQ(has_cycle(reparsed), has_cycle(fig.topo));
+}
+
+}  // namespace
+}  // namespace idr

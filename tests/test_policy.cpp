@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "policy/database.hpp"
+#include "policy/flow.hpp"
+#include "policy/generator.hpp"
+#include "policy/term.hpp"
+#include "topology/figure1.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+namespace {
+
+TEST(AdSet, AnyContainsEverything) {
+  const AdSet any = AdSet::any();
+  EXPECT_TRUE(any.is_any());
+  EXPECT_TRUE(any.contains(AdId{0}));
+  EXPECT_TRUE(any.contains(AdId{12345}));
+}
+
+TEST(AdSet, ExplicitMembership) {
+  const AdSet s = AdSet::of({AdId{3}, AdId{1}, AdId{3}});
+  EXPECT_FALSE(s.is_any());
+  EXPECT_EQ(s.members().size(), 2u);  // sorted, deduped
+  EXPECT_TRUE(s.contains(AdId{1}));
+  EXPECT_TRUE(s.contains(AdId{3}));
+  EXPECT_FALSE(s.contains(AdId{2}));
+}
+
+TEST(AdSet, NoneContainsNothing) {
+  const AdSet none = AdSet::none();
+  EXPECT_FALSE(none.contains(AdId{0}));
+}
+
+TEST(PolicyTerm, OpenTermPermitsEverything) {
+  const PolicyTerm t = open_transit_term(AdId{5});
+  FlowSpec flow{AdId{1}, AdId{2}, Qos::kLowDelay, UserClass::kCommercial, 3};
+  EXPECT_TRUE(t.permits(flow, AdId{7}, AdId{8}));
+}
+
+TEST(PolicyTerm, SourceRestriction) {
+  PolicyTerm t = open_transit_term(AdId{5});
+  t.sources = AdSet::of({AdId{1}});
+  FlowSpec ok{AdId{1}, AdId{2}};
+  FlowSpec bad{AdId{3}, AdId{2}};
+  EXPECT_TRUE(t.permits(ok, AdId{7}, AdId{8}));
+  EXPECT_FALSE(t.permits(bad, AdId{7}, AdId{8}));
+}
+
+TEST(PolicyTerm, PrevNextRestriction) {
+  PolicyTerm t = open_transit_term(AdId{5});
+  t.prev_hops = AdSet::of({AdId{7}});
+  t.next_hops = AdSet::of({AdId{8}});
+  FlowSpec flow{AdId{1}, AdId{2}};
+  EXPECT_TRUE(t.permits(flow, AdId{7}, AdId{8}));
+  EXPECT_FALSE(t.permits(flow, AdId{9}, AdId{8}));
+  EXPECT_FALSE(t.permits(flow, AdId{7}, AdId{9}));
+}
+
+TEST(PolicyTerm, QosAndUciMasks) {
+  PolicyTerm t = open_transit_term(AdId{5});
+  t.qos_mask = qos_bit(Qos::kLowDelay);
+  t.uci_mask = uci_bit(UserClass::kResearch);
+  FlowSpec flow{AdId{1}, AdId{2}, Qos::kLowDelay, UserClass::kResearch, 12};
+  EXPECT_TRUE(t.permits(flow, AdId{7}, AdId{8}));
+  flow.qos = Qos::kDefault;
+  EXPECT_FALSE(t.permits(flow, AdId{7}, AdId{8}));
+  flow.qos = Qos::kLowDelay;
+  flow.uci = UserClass::kCommercial;
+  EXPECT_FALSE(t.permits(flow, AdId{7}, AdId{8}));
+}
+
+TEST(PolicyTerm, HourWindowPlain) {
+  PolicyTerm t = open_transit_term(AdId{5});
+  t.hour_begin = 8;
+  t.hour_end = 18;
+  EXPECT_TRUE(t.hour_in_window(8));
+  EXPECT_TRUE(t.hour_in_window(12));
+  EXPECT_TRUE(t.hour_in_window(18));
+  EXPECT_FALSE(t.hour_in_window(7));
+  EXPECT_FALSE(t.hour_in_window(19));
+}
+
+TEST(PolicyTerm, HourWindowWrapsMidnight) {
+  PolicyTerm t = open_transit_term(AdId{5});
+  t.hour_begin = 22;
+  t.hour_end = 4;
+  EXPECT_TRUE(t.hour_in_window(23));
+  EXPECT_TRUE(t.hour_in_window(0));
+  EXPECT_TRUE(t.hour_in_window(4));
+  EXPECT_FALSE(t.hour_in_window(12));
+}
+
+TEST(TrafficClass, IndexBijective) {
+  std::vector<bool> seen(TrafficClass::kIndexCount, false);
+  for (std::uint8_t q = 0; q < kQosCount; ++q) {
+    for (std::uint8_t u = 0; u < kUserClassCount; ++u) {
+      for (std::uint8_t h = 0; h < 24; ++h) {
+        TrafficClass tc{static_cast<Qos>(q), static_cast<UserClass>(u), h};
+        ASSERT_LT(tc.index(), TrafficClass::kIndexCount);
+        EXPECT_FALSE(seen[tc.index()]);
+        seen[tc.index()] = true;
+      }
+    }
+  }
+}
+
+class PolicySetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fig_ = build_figure1();
+    policies_ = make_open_policies(fig_.topo);
+  }
+  Figure1 fig_;
+  PolicySet policies_;
+};
+
+TEST_F(PolicySetTest, OpenPoliciesGiveTransitsTerms) {
+  EXPECT_FALSE(policies_.terms(fig_.backbone_west).empty());
+  EXPECT_FALSE(policies_.terms(fig_.regional[0]).empty());
+  EXPECT_TRUE(policies_.terms(fig_.campus[0]).empty());       // stub
+  EXPECT_TRUE(policies_.terms(fig_.multihomed).empty());      // multihomed
+  EXPECT_FALSE(policies_.terms(fig_.bypass_campus).empty());  // hybrid
+}
+
+TEST_F(PolicySetTest, HierarchicalPathIsLegal) {
+  // campus0 -> Reg-0 -> BB-West -> BB-East -> Reg-3 -> campus6
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  const std::vector<AdId> path{fig_.campus[0],  fig_.regional[0],
+                               fig_.backbone_west, fig_.backbone_east,
+                               fig_.regional[3], fig_.campus[6]};
+  EXPECT_TRUE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, PathThroughStubIsIllegal) {
+  // Attempting to transit the multi-homed campus between its two
+  // regionals must be rejected: stubs carry no transit (paper §2.1).
+  FlowSpec flow{fig_.campus[2], fig_.campus[4]};
+  const std::vector<AdId> path{fig_.campus[2], fig_.regional[1],
+                               fig_.multihomed, fig_.regional[2],
+                               fig_.campus[4]};
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, LoopIsIllegal) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[1]};
+  const std::vector<AdId> path{fig_.campus[0], fig_.regional[0],
+                               fig_.backbone_west, fig_.regional[0],
+                               fig_.campus[1]};
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, DisconnectedPathIsIllegal) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[7]};
+  // campus0 and campus7 are not adjacent.
+  const std::vector<AdId> path{fig_.campus[0], fig_.campus[7]};
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, DownLinkBreaksLegality) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[2]};
+  const std::vector<AdId> path{fig_.campus[0], fig_.regional[0],
+                               fig_.backbone_west, fig_.regional[1],
+                               fig_.campus[2]};
+  ASSERT_TRUE(policies_.path_is_legal(fig_.topo, flow, path));
+  fig_.topo.set_link_up(
+      *fig_.topo.find_link(fig_.backbone_west, fig_.regional[1]), false);
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, SourceAvoidListEnforced) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[2]};
+  const std::vector<AdId> path{fig_.campus[0], fig_.regional[0],
+                               fig_.backbone_west, fig_.regional[1],
+                               fig_.campus[2]};
+  ASSERT_TRUE(policies_.path_is_legal(fig_.topo, flow, path));
+  policies_.source_policy(fig_.campus[0]).avoid.push_back(
+      fig_.backbone_west);
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, MaxHopsEnforced) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[6]};
+  const std::vector<AdId> path{fig_.campus[0],  fig_.regional[0],
+                               fig_.backbone_west, fig_.backbone_east,
+                               fig_.regional[3], fig_.campus[6]};
+  ASSERT_TRUE(policies_.path_is_legal(fig_.topo, flow, path));
+  policies_.source_policy(fig_.campus[0]).max_hops = 4;
+  EXPECT_FALSE(policies_.path_is_legal(fig_.topo, flow, path));
+}
+
+TEST_F(PolicySetTest, PathCostSumsLinksAndTerms) {
+  FlowSpec flow{fig_.campus[0], fig_.campus[1]};
+  const std::vector<AdId> path{fig_.campus[0], fig_.regional[0],
+                               fig_.campus[1]};
+  const auto cost = policies_.path_cost(fig_.topo, flow, path);
+  ASSERT_TRUE(cost.has_value());
+  // Two links with metric 1 + one open term with cost 1.
+  EXPECT_EQ(*cost, 3u);
+}
+
+TEST_F(PolicySetTest, TermIdCollisionGetsFreshId) {
+  PolicyTerm t1 = open_transit_term(fig_.backbone_west, 0);
+  PolicyTerm t2 = open_transit_term(fig_.backbone_west, 0);
+  PolicySet p(fig_.topo.ad_count());
+  p.add_term(t1);
+  p.add_term(t2);
+  const auto terms = p.terms(fig_.backbone_west);
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_NE(terms[0].id, terms[1].id);
+}
+
+TEST(PolicyGenerators, ProviderCustomerConeRestriction) {
+  const Figure1 fig = build_figure1();
+  const PolicySet policies = make_provider_customer_policies(fig.topo);
+  // A regional must carry flows from its cone...
+  FlowSpec own{fig.campus[0], fig.campus[6]};
+  EXPECT_TRUE(policies.ad_permits_transit(fig.topo, fig.regional[0], own,
+                                          fig.campus[0],
+                                          fig.backbone_west));
+  // ...but not unrelated transit between other regionals' customers.
+  FlowSpec foreign{fig.campus[4], fig.campus[6]};
+  EXPECT_FALSE(policies.ad_permits_transit(fig.topo, fig.regional[0],
+                                           foreign, fig.backbone_west,
+                                           fig.campus[0]));
+  // Backbones carry everything.
+  EXPECT_TRUE(policies.ad_permits_transit(fig.topo, fig.backbone_west,
+                                          foreign, fig.regional[0],
+                                          fig.backbone_east));
+}
+
+TEST(PolicyGenerators, CustomerConeContents) {
+  const Figure1 fig = build_figure1();
+  const auto cone = customer_cone(fig.topo, fig.regional[0]);
+  EXPECT_TRUE(std::binary_search(cone.begin(), cone.end(), fig.campus[0]));
+  EXPECT_TRUE(std::binary_search(cone.begin(), cone.end(), fig.campus[1]));
+  EXPECT_FALSE(std::binary_search(cone.begin(), cone.end(), fig.campus[4]));
+  EXPECT_FALSE(
+      std::binary_search(cone.begin(), cone.end(), fig.backbone_west));
+}
+
+TEST(PolicyGenerators, AupRestrictsBackboneToResearch) {
+  const Figure1 fig = build_figure1();
+  PolicySet policies = make_open_policies(fig.topo);
+  apply_aup(policies, fig.backbone_west);
+  FlowSpec research{fig.campus[0], fig.campus[6], Qos::kDefault,
+                    UserClass::kResearch, 12};
+  FlowSpec commercial{fig.campus[0], fig.campus[6], Qos::kDefault,
+                      UserClass::kCommercial, 12};
+  EXPECT_TRUE(policies.ad_permits_transit(fig.topo, fig.backbone_west,
+                                          research, fig.regional[0],
+                                          fig.backbone_east));
+  EXPECT_FALSE(policies.ad_permits_transit(fig.topo, fig.backbone_west,
+                                           commercial, fig.regional[0],
+                                           fig.backbone_east));
+}
+
+TEST(PolicyGenerators, RestrictedPoliciesDeterministic) {
+  const Figure1 fig = build_figure1();
+  const PolicySet base = make_provider_customer_policies(fig.topo);
+  RestrictionParams params;
+  Prng p1(3), p2(3);
+  const PolicySet a = make_restricted_policies(fig.topo, base, params, p1);
+  const PolicySet b = make_restricted_policies(fig.topo, base, params, p2);
+  EXPECT_EQ(a.total_terms(), b.total_terms());
+}
+
+TEST(PolicyGenerators, HybridLimitedTransit) {
+  const Figure1 fig = build_figure1();
+  const PolicySet policies = make_open_policies(fig.topo);
+  // The bypass campus (hybrid) carries flows destined to its neighbor
+  // backbone but not arbitrary transit.
+  FlowSpec to_neighbor{fig.campus[6], fig.backbone_east};
+  EXPECT_TRUE(policies.ad_permits_transit(fig.topo, fig.bypass_campus,
+                                          to_neighbor, fig.regional[3],
+                                          fig.backbone_east));
+  FlowSpec unrelated{fig.campus[0], fig.campus[4]};
+  EXPECT_FALSE(policies.ad_permits_transit(fig.topo, fig.bypass_campus,
+                                           unrelated, fig.regional[3],
+                                           fig.backbone_east));
+}
+
+TEST(PolicyGenerators, SourceAvoidanceAddsEntries) {
+  const Figure1 fig = build_figure1();
+  PolicySet policies = make_open_policies(fig.topo);
+  Prng prng(4);
+  add_source_avoidance(fig.topo, policies, 1.0, prng);
+  std::size_t with_avoid = 0;
+  for (const Ad& ad : fig.topo.ads()) {
+    if (!policies.source_policy(ad.id).avoid.empty()) ++with_avoid;
+  }
+  EXPECT_GT(with_avoid, 0u);
+}
+
+}  // namespace
+}  // namespace idr

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/failure.hpp"
+#include "sim/network.hpp"
+#include "topology/figure1.hpp"
+#include "util/prng.hpp"
+#include "wire/codec.hpp"
+
+namespace idr {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(5.0, [&] { order.push_back(2); });
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(9.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 9.0);
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, AfterIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.at(10.0, [&] {
+    e.after(5.0, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(5.0, [&] { ++fired; });
+  e.at(10.0, [&] { ++fired; });
+  e.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.after(1.0, recurse);
+  };
+  e.at(0.0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(e.now(), 99.0);
+}
+
+// A trivial echoing node for network tests.
+class EchoNode : public Node {
+ public:
+  void on_message(AdId from, std::span<const std::uint8_t> bytes) override {
+    received.emplace_back(from, std::vector<std::uint8_t>(bytes.begin(),
+                                                          bytes.end()));
+  }
+  void on_link_change(AdId neighbor, bool up) override {
+    link_events.emplace_back(neighbor, up);
+  }
+  std::vector<std::pair<AdId, std::vector<std::uint8_t>>> received;
+  std::vector<std::pair<AdId, bool>> link_events;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = topo_.add_ad(AdClass::kCampus, AdRole::kStub);
+    b_ = topo_.add_ad(AdClass::kCampus, AdRole::kStub);
+    c_ = topo_.add_ad(AdClass::kCampus, AdRole::kStub);
+    ab_ = topo_.add_link(a_, b_, LinkClass::kLateral, 3.0);
+    topo_.add_link(b_, c_, LinkClass::kLateral, 4.0);
+    net_ = std::make_unique<Network>(engine_, topo_);
+    for (AdId id : {a_, b_, c_}) {
+      auto node = std::make_unique<EchoNode>();
+      nodes_[id.v] = node.get();
+      net_->attach(id, std::move(node));
+    }
+    net_->start_all();
+  }
+
+  Topology topo_;
+  Engine engine_;
+  std::unique_ptr<Network> net_;
+  EchoNode* nodes_[3] = {};
+  AdId a_, b_, c_;
+  LinkId ab_;
+};
+
+TEST_F(NetworkTest, DeliversWithLinkDelay) {
+  EXPECT_TRUE(net_->send(a_, b_, {1, 2, 3}));
+  engine_.run();
+  ASSERT_EQ(nodes_[b_.v]->received.size(), 1u);
+  EXPECT_EQ(nodes_[b_.v]->received[0].first, a_);
+  EXPECT_EQ(nodes_[b_.v]->received[0].second,
+            (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine_.now(), 3.0);
+}
+
+TEST_F(NetworkTest, NonAdjacentSendDrops) {
+  EXPECT_FALSE(net_->send(a_, c_, {9}));
+  engine_.run();
+  EXPECT_TRUE(nodes_[c_.v]->received.empty());
+  EXPECT_EQ(net_->total().msgs_dropped, 1u);
+}
+
+TEST_F(NetworkTest, DownLinkDrops) {
+  net_->set_link_state(ab_, false);
+  EXPECT_FALSE(net_->send(a_, b_, {1}));
+  engine_.run();
+  EXPECT_TRUE(nodes_[b_.v]->received.empty());
+}
+
+TEST_F(NetworkTest, InFlightMessageDroppedWhenLinkFails) {
+  EXPECT_TRUE(net_->send(a_, b_, {1}));
+  // The link dies while the message is in flight (delay is 3ms).
+  engine_.at(1.0, [&] { net_->set_link_state(ab_, false); });
+  engine_.run();
+  EXPECT_TRUE(nodes_[b_.v]->received.empty());
+  EXPECT_EQ(net_->total().msgs_dropped, 1u);
+}
+
+TEST_F(NetworkTest, LinkChangeNotifiesBothEnds) {
+  net_->set_link_state(ab_, false);
+  ASSERT_EQ(nodes_[a_.v]->link_events.size(), 1u);
+  ASSERT_EQ(nodes_[b_.v]->link_events.size(), 1u);
+  EXPECT_EQ(nodes_[a_.v]->link_events[0], std::make_pair(b_, false));
+  EXPECT_EQ(nodes_[b_.v]->link_events[0], std::make_pair(a_, false));
+  // Redundant transition is suppressed.
+  net_->set_link_state(ab_, false);
+  EXPECT_EQ(nodes_[a_.v]->link_events.size(), 1u);
+}
+
+TEST_F(NetworkTest, CountersTrackBytes) {
+  net_->send(a_, b_, {1, 2, 3, 4, 5});
+  engine_.run();
+  EXPECT_EQ(net_->counters(a_).msgs_sent, 1u);
+  EXPECT_EQ(net_->counters(a_).bytes_sent, 5u);
+  EXPECT_EQ(net_->counters(b_).msgs_delivered, 1u);
+  EXPECT_EQ(net_->total().bytes_sent, 5u);
+  net_->reset_counters();
+  EXPECT_EQ(net_->total().msgs_sent, 0u);
+}
+
+TEST_F(NetworkTest, PerByteDelayExtendsDelivery) {
+  net_->set_per_byte_delay(0.5);
+  net_->send(a_, b_, {1, 2, 3, 4});  // 3.0 + 4 * 0.5 = 5.0
+  engine_.run();
+  EXPECT_DOUBLE_EQ(engine_.now(), 5.0);
+}
+
+TEST(FailureInjector, ScriptedFailureAndRepair) {
+  Topology topo;
+  const AdId a = topo.add_ad(AdClass::kCampus, AdRole::kStub);
+  const AdId b = topo.add_ad(AdClass::kCampus, AdRole::kStub);
+  const LinkId l = topo.add_link(a, b, LinkClass::kLateral);
+  Engine engine;
+  Network net(engine, topo);
+  net.attach(a, std::make_unique<EchoNode>());
+  net.attach(b, std::make_unique<EchoNode>());
+  net.start_all();
+  FailureInjector injector(net);
+  injector.fail_link_at(l, 10.0, 5.0);
+  engine.run_until(12.0);
+  EXPECT_FALSE(topo.link(l).up);
+  engine.run_until(20.0);
+  EXPECT_TRUE(topo.link(l).up);
+  EXPECT_EQ(injector.failures_injected(), 1u);
+}
+
+TEST(FailureInjector, RandomFailuresStayWithinHorizon) {
+  Figure1 fig = build_figure1();
+  Engine engine;
+  Network net(engine, fig.topo);
+  for (const Ad& ad : fig.topo.ads()) {
+    net.attach(ad.id, std::make_unique<EchoNode>());
+  }
+  net.start_all();
+  FailureInjector injector(net);
+  Prng prng(42);
+  injector.random_failures(prng, 500.0, 100.0, 10'000.0);
+  engine.run();
+  EXPECT_GT(injector.failures_injected(), 0u);
+  // After the horizon every link scheduled for repair has been repaired;
+  // some links may legitimately end down (repair fell past the horizon).
+  EXPECT_GE(engine.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace idr

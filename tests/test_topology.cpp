@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/algos.hpp"
+#include "topology/figure1.hpp"
+#include "topology/generator.hpp"
+#include "topology/graph.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+namespace {
+
+Topology line(int n) {
+  Topology t;
+  std::vector<AdId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(t.add_ad(AdClass::kCampus, AdRole::kTransit));
+  }
+  for (int i = 1; i < n; ++i) {
+    t.add_link(ids[i - 1], ids[i], LinkClass::kHierarchical);
+  }
+  return t;
+}
+
+TEST(Graph, AddAndLookup) {
+  Topology t;
+  const AdId a = t.add_ad(AdClass::kBackbone, AdRole::kTransit, "A");
+  const AdId b = t.add_ad(AdClass::kCampus, AdRole::kStub);
+  EXPECT_EQ(t.ad_count(), 2u);
+  EXPECT_EQ(t.ad(a).name, "A");
+  EXPECT_FALSE(t.ad(b).name.empty());  // auto-generated name
+  const LinkId l = t.add_link(a, b, LinkClass::kBypass, 5.0, 3);
+  EXPECT_EQ(t.link_count(), 1u);
+  EXPECT_EQ(t.link(l).cls, LinkClass::kBypass);
+  EXPECT_EQ(t.link(l).metric, 3u);
+  EXPECT_EQ(t.peer(l, a), b);
+  EXPECT_EQ(t.peer(l, b), a);
+}
+
+TEST(Graph, FindLinkIsSymmetric) {
+  Topology t = line(3);
+  EXPECT_TRUE(t.find_link(AdId{0}, AdId{1}).has_value());
+  EXPECT_TRUE(t.find_link(AdId{1}, AdId{0}).has_value());
+  EXPECT_FALSE(t.find_link(AdId{0}, AdId{2}).has_value());
+}
+
+TEST(Graph, LinkStateToggle) {
+  Topology t = line(2);
+  const LinkId l = *t.find_link(AdId{0}, AdId{1});
+  EXPECT_TRUE(t.link(l).up);
+  t.set_link_up(l, false);
+  EXPECT_FALSE(t.link(l).up);
+  EXPECT_TRUE(t.live_neighbors(AdId{0}).empty());
+  EXPECT_EQ(t.neighbors(AdId{0}).size(), 1u);  // adjacency persists
+}
+
+TEST(Graph, RoleTransitPredicate) {
+  Topology t;
+  const AdId stub = t.add_ad(AdClass::kCampus, AdRole::kStub);
+  const AdId mh = t.add_ad(AdClass::kCampus, AdRole::kMultiHomed);
+  const AdId transit = t.add_ad(AdClass::kRegional, AdRole::kTransit);
+  const AdId hybrid = t.add_ad(AdClass::kCampus, AdRole::kHybrid);
+  EXPECT_FALSE(t.can_transit(stub));
+  EXPECT_FALSE(t.can_transit(mh));
+  EXPECT_TRUE(t.can_transit(transit));
+  EXPECT_TRUE(t.can_transit(hybrid));
+}
+
+TEST(Algos, ConnectedComponents) {
+  Topology t = line(4);
+  EXPECT_TRUE(is_connected(t));
+  t.set_link_up(*t.find_link(AdId{1}, AdId{2}), false);
+  const Components c = connected_components(t);
+  EXPECT_EQ(c.count, 2u);
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[2], c.component_of[3]);
+  EXPECT_NE(c.component_of[0], c.component_of[2]);
+}
+
+TEST(Algos, CycleDetection) {
+  Topology t = line(3);
+  EXPECT_FALSE(has_cycle(t));
+  t.add_link(AdId{0}, AdId{2}, LinkClass::kLateral);
+  EXPECT_TRUE(has_cycle(t));
+}
+
+TEST(Algos, CycleIgnoresDownLinks) {
+  Topology t = line(3);
+  const LinkId l = t.add_link(AdId{0}, AdId{2}, LinkClass::kLateral);
+  t.set_link_up(l, false);
+  EXPECT_FALSE(has_cycle(t));
+}
+
+TEST(Algos, ShortestPathHops) {
+  Topology t = line(5);
+  const auto path = shortest_path_hops(t, AdId{0}, AdId{4});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 5u);
+  EXPECT_EQ(path->front(), AdId{0});
+  EXPECT_EQ(path->back(), AdId{4});
+}
+
+TEST(Algos, ShortestPathUnreachable) {
+  Topology t = line(4);
+  t.set_link_up(*t.find_link(AdId{1}, AdId{2}), false);
+  EXPECT_FALSE(shortest_path_hops(t, AdId{0}, AdId{3}).has_value());
+}
+
+TEST(Algos, ShortestPathPrefersShortcut) {
+  Topology t = line(5);
+  t.add_link(AdId{0}, AdId{3}, LinkClass::kBypass);
+  const auto path = shortest_path_hops(t, AdId{0}, AdId{4});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 3u);  // 0 -> 3 -> 4
+}
+
+TEST(Algos, MetricPathUsesWeights) {
+  Topology t;
+  const AdId a = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  const AdId b = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  const AdId c = t.add_ad(AdClass::kCampus, AdRole::kTransit);
+  t.add_link(a, b, LinkClass::kHierarchical, 1.0, 10);
+  t.add_link(b, c, LinkClass::kHierarchical, 1.0, 10);
+  t.add_link(a, c, LinkClass::kHierarchical, 1.0, 50);
+  const auto direct = shortest_path_metric(t, a, c);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->cost, 20u);  // via b, not the cost-50 direct link
+  EXPECT_EQ(direct->path.size(), 3u);
+}
+
+TEST(Algos, HopDistances) {
+  Topology t = line(4);
+  const auto dist = hop_distances(t, AdId{0});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 3u);
+}
+
+TEST(Algos, EdgeDisjointPaths) {
+  Topology t = line(4);
+  EXPECT_EQ(edge_disjoint_paths(t, AdId{0}, AdId{3}), 1u);
+  t.add_link(AdId{0}, AdId{3}, LinkClass::kBypass);
+  EXPECT_EQ(edge_disjoint_paths(t, AdId{0}, AdId{3}), 2u);
+}
+
+TEST(Algos, LoopFreePredicate) {
+  EXPECT_TRUE(is_loop_free({AdId{1}, AdId{2}, AdId{3}}));
+  EXPECT_FALSE(is_loop_free({AdId{1}, AdId{2}, AdId{1}}));
+  EXPECT_TRUE(is_loop_free({}));
+}
+
+TEST(Figure1, MatchesPaperStructure) {
+  const Figure1 fig = build_figure1();
+  const Topology& t = fig.topo;
+  EXPECT_EQ(t.count_ads(AdClass::kBackbone), 2u);
+  EXPECT_EQ(t.count_ads(AdClass::kRegional), 4u);
+  EXPECT_EQ(t.count_ads(AdClass::kCampus), 10u);
+  EXPECT_GE(t.count_links(LinkClass::kLateral), 2u);
+  EXPECT_GE(t.count_links(LinkClass::kBypass), 1u);
+  EXPECT_TRUE(is_connected(t));
+  // The paper stresses that realistic inter-AD topologies contain cycles
+  // (which rules out EGP).
+  EXPECT_TRUE(has_cycle(t));
+  // The multi-homed campus connects to two regionals.
+  EXPECT_EQ(t.neighbors(fig.multihomed).size(), 2u);
+  EXPECT_EQ(t.ad(fig.multihomed).role, AdRole::kMultiHomed);
+}
+
+TEST(Figure1, BypassShortensPath) {
+  const Figure1 fig = build_figure1();
+  // The bypass campus reaches the east backbone directly.
+  const auto path =
+      shortest_path_hops(fig.topo, fig.bypass_campus, fig.backbone_east);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 2u);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorParams params;
+  Prng p1(77), p2(77);
+  const Topology a = generate_topology(params, p1);
+  const Topology b = generate_topology(params, p2);
+  ASSERT_EQ(a.ad_count(), b.ad_count());
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+  }
+}
+
+TEST(Generator, ProducesConnectedHierarchy) {
+  Prng prng(5);
+  GeneratorParams params;
+  params.backbones = 3;
+  params.regionals_per_backbone = 3;
+  params.campuses_per_parent = 5;
+  const Topology t = generate_topology(params, prng);
+  EXPECT_TRUE(is_connected(t));
+  EXPECT_EQ(t.count_ads(AdClass::kBackbone), 3u);
+  EXPECT_EQ(t.count_ads(AdClass::kRegional), 9u);
+  EXPECT_EQ(t.count_ads(AdClass::kCampus), 45u);
+}
+
+TEST(Generator, MetroLevelOptional) {
+  Prng prng(6);
+  GeneratorParams params;
+  params.metros_per_regional = 2;
+  const Topology t = generate_topology(params, prng);
+  EXPECT_EQ(t.count_ads(AdClass::kMetro),
+            params.backbones * params.regionals_per_backbone * 2);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Generator, SizeTargeting) {
+  Prng prng(8);
+  const Topology t = generate_topology_of_size(200, prng);
+  EXPECT_GT(t.ad_count(), 120u);
+  EXPECT_LT(t.ad_count(), 320u);
+  EXPECT_TRUE(is_connected(t));
+}
+
+TEST(Generator, RolesAssigned) {
+  Prng prng(9);
+  GeneratorParams params;
+  params.multihome_prob = 0.5;
+  params.hybrid_prob = 0.2;
+  const Topology t = generate_topology(params, prng);
+  EXPECT_GT(t.count_ads(AdRole::kMultiHomed), 0u);
+  EXPECT_GT(t.count_ads(AdRole::kStub), 0u);
+  EXPECT_GT(t.count_ads(AdRole::kTransit), 0u);
+}
+
+TEST(Generator, DegreeStatsSane) {
+  Prng prng(10);
+  const Topology t = generate_topology_of_size(100, prng);
+  const DegreeStats stats = degree_stats(t);
+  EXPECT_GE(stats.min, 1u);
+  EXPECT_GT(stats.mean, 1.0);
+  EXPECT_GE(stats.max, stats.min);
+}
+
+}  // namespace
+}  // namespace idr

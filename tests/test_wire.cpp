@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/term.hpp"
+#include "proto/idrp/idrp_node.hpp"
+#include "proto/ls/ls_node.hpp"
+#include "proto/orwg/lsdb.hpp"
+#include "util/prng.hpp"
+#include "wire/codec.hpp"
+
+namespace idr {
+namespace {
+
+TEST(Codec, ScalarRoundTrip) {
+  wire::Writer w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  wire::Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, BigEndianOnTheWire) {
+  wire::Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x04);
+}
+
+TEST(Codec, StringRoundTrip) {
+  wire::Writer w;
+  w.str("hello inter-AD world");
+  w.str("");
+  wire::Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "hello inter-AD world");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, U32ListRoundTrip) {
+  const std::vector<std::uint32_t> values{0, 1, 0xffffffff, 42};
+  wire::Writer w;
+  w.u32_list(values);
+  wire::Reader r(w.bytes());
+  EXPECT_EQ(r.u32_list(), values);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Codec, TruncatedReadIsStickyFailure) {
+  wire::Writer w;
+  w.u16(7);
+  wire::Reader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 0u);  // past end
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // still failed
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Codec, TruncatedListFails) {
+  wire::Writer w;
+  w.u16(10);  // claims 10 entries, provides none
+  wire::Reader r(w.bytes());
+  EXPECT_TRUE(r.u32_list().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, TruncatedStringFails) {
+  wire::Writer w;
+  w.u16(100);  // claims 100 bytes
+  w.u8('x');
+  wire::Reader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, DoneRequiresFullConsumption) {
+  wire::Writer w;
+  w.u32(1);
+  w.u32(2);
+  wire::Reader r(w.bytes());
+  r.u32();
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(r.done());
+  r.u32();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(PduRoundTrip, PolicyTerm) {
+  PolicyTerm t;
+  t.id = 17;
+  t.owner = AdId{3};
+  t.sources = AdSet::of({AdId{1}, AdId{2}, AdId{9}});
+  t.dests = AdSet::any();
+  t.prev_hops = AdSet::of({AdId{4}});
+  t.next_hops = AdSet::none();
+  t.qos_mask = 0x3;
+  t.uci_mask = 0x5;
+  t.hour_begin = 22;
+  t.hour_end = 4;
+  t.cost = 12;
+
+  wire::Writer w;
+  t.encode(w);
+  wire::Reader r(w.bytes());
+  const auto decoded = PolicyTerm::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, t);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(PduRoundTrip, PolicyTermRejectsBadHours) {
+  PolicyTerm t;
+  t.owner = AdId{1};
+  t.hour_begin = 99;
+  wire::Writer w;
+  t.encode(w);
+  wire::Reader r(w.bytes());
+  EXPECT_FALSE(PolicyTerm::decode(r).has_value());
+}
+
+TEST(PduRoundTrip, Lsa) {
+  Lsa lsa;
+  lsa.origin = AdId{5};
+  lsa.seq = 99;
+  LsAdjacency adj;
+  adj.neighbor = AdId{7};
+  adj.metric = {1, 2, 3, 4};
+  lsa.adjacencies.push_back(adj);
+
+  wire::Writer w;
+  lsa.encode(w);
+  wire::Reader r(w.bytes());
+  const auto decoded = Lsa::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->origin, lsa.origin);
+  EXPECT_EQ(decoded->seq, lsa.seq);
+  ASSERT_EQ(decoded->adjacencies.size(), 1u);
+  EXPECT_EQ(decoded->adjacencies[0].neighbor, AdId{7});
+  EXPECT_EQ(decoded->adjacencies[0].metric, adj.metric);
+}
+
+TEST(PduRoundTrip, PolicyLsaWithSourcePolicy) {
+  PolicyLsa lsa;
+  lsa.origin = AdId{2};
+  lsa.seq = 3;
+  lsa.adjacencies.push_back(PolicyLsaAdjacency{AdId{4}, 10});
+  lsa.terms.push_back(open_transit_term(AdId{2}, 0, 5));
+  lsa.has_source_policy = true;
+  lsa.avoid = {AdId{8}};
+  lsa.max_hops = 12;
+  lsa.prefer_min_cost = false;
+
+  wire::Writer w;
+  lsa.encode(w);
+  wire::Reader r(w.bytes());
+  const auto decoded = PolicyLsa::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->origin, lsa.origin);
+  EXPECT_EQ(decoded->terms.size(), 1u);
+  EXPECT_EQ(decoded->terms[0].cost, 5u);
+  EXPECT_TRUE(decoded->has_source_policy);
+  ASSERT_EQ(decoded->avoid.size(), 1u);
+  EXPECT_EQ(decoded->avoid[0], AdId{8});
+  EXPECT_EQ(decoded->max_hops, 12u);
+  EXPECT_FALSE(decoded->prefer_min_cost);
+}
+
+TEST(PduRoundTrip, IdrpRoute) {
+  IdrpRoute route;
+  route.dst = AdId{9};
+  route.path = {AdId{1}, AdId{4}, AdId{9}};
+  route.attrs.sources = AdSet::of({AdId{0}, AdId{2}});
+  route.attrs.qos_mask = 0x1;
+  route.attrs.uci_mask = 0x7;
+  route.attrs.hour_mask = hour_window_mask(8, 18);
+  route.attrs.cost = 6;
+
+  wire::Writer w;
+  route.encode(w);
+  wire::Reader r(w.bytes());
+  const auto decoded = IdrpRoute::decode(r);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->dst, route.dst);
+  EXPECT_EQ(decoded->path, route.path);
+  EXPECT_EQ(decoded->attrs, route.attrs);
+}
+
+// Fuzz-ish robustness: decoding random bytes must never crash and must
+// signal failure through Reader state rather than garbage acceptance of
+// truncated input.
+TEST(DecoderRobustness, RandomBytesNeverCrash) {
+  Prng prng(0xf22);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(prng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(prng.below(256));
+    {
+      wire::Reader r(junk);
+      (void)PolicyTerm::decode(r);
+    }
+    {
+      wire::Reader r(junk);
+      (void)PolicyLsa::decode(r);
+    }
+    {
+      wire::Reader r(junk);
+      (void)IdrpRoute::decode(r);
+    }
+    {
+      wire::Reader r(junk);
+      (void)Lsa::decode(r);
+    }
+  }
+  SUCCEED();
+}
+
+// Truncation property: every strict prefix of a valid encoding must fail
+// to decode (no silent acceptance of cut-off PDUs).
+TEST(DecoderRobustness, AllPrefixesOfPolicyTermFail) {
+  PolicyTerm t = open_transit_term(AdId{1}, 2, 3);
+  t.sources = AdSet::of({AdId{5}, AdId{6}});
+  wire::Writer w;
+  t.encode(w);
+  const auto& bytes = w.bytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    wire::Reader r(std::span(bytes.data(), len));
+    const auto decoded = PolicyTerm::decode(r);
+    // Either the decode failed, or it consumed less than the prefix
+    // (which strict framing would reject via done()).
+    if (decoded.has_value()) {
+      EXPECT_FALSE(r.ok() && r.remaining() == 0 && len == bytes.size());
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace idr
