@@ -1,0 +1,299 @@
+#include "core/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <utility>
+
+#include "core/synthesis.hpp"
+#include "policy/generator.hpp"
+#include "proto/ecma/ecma_node.hpp"
+#include "proto/ecma/partial_order.hpp"
+#include "proto/idrp/idrp_node.hpp"
+#include "proto/lshh/lshh_node.hpp"
+#include "proto/orwg/orwg_node.hpp"
+#include "sim/failure.hpp"
+#include "topology/figure1.hpp"
+#include "util/check.hpp"
+
+namespace idr {
+namespace {
+
+bool is_stub_role(const Topology& topo, AdId ad) {
+  const AdRole role = topo.ad(ad).role;
+  return role == AdRole::kStub || role == AdRole::kMultiHomed;
+}
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
+// Hop-by-hop probe walk shared by the FIB-driven design points. `next_fn`
+// asks the node currently holding the packet for its successor; a crashed
+// node on the way (or no forwarding choice) is a black hole, a revisited
+// AD is a loop.
+template <typename NextFn>
+Probe walk_probe(const Topology& topo, AdId src, AdId dst, NextFn&& next_fn) {
+  Probe probe;
+  probe.path.push_back(src);
+  std::vector<bool> seen(topo.ad_count(), false);
+  seen[src.v] = true;
+  AdId cur = src;
+  while (cur != dst) {
+    const std::optional<AdId> next = next_fn(cur, probe.path);
+    if (!next) {
+      probe.outcome = ProbeOutcome::kBlackHole;
+      return probe;
+    }
+    if (seen[next->v] || probe.path.size() > topo.ad_count()) {
+      probe.outcome = ProbeOutcome::kLooped;
+      return probe;
+    }
+    seen[next->v] = true;
+    probe.path.push_back(*next);
+    cur = *next;
+  }
+  probe.outcome = ProbeOutcome::kDelivered;
+  return probe;
+}
+
+// Ground truth for ECMA: a destination is reachable only over an up*down*
+// shaped walk (paper §5.1.1) through ADs willing to transit, between live
+// nodes over live links. BFS over (AD, gone-down) states.
+bool ecma_reachable(const Network& net, const Topology& topo,
+                    const PartialOrder& order, AdId src, AdId dst) {
+  const std::size_t n = topo.ad_count();
+  std::vector<bool> seen(n * 2, false);
+  std::queue<std::pair<AdId, bool>> queue;
+  queue.emplace(src, false);
+  seen[src.v * 2] = true;
+  while (!queue.empty()) {
+    const auto [cur, gone_down] = queue.front();
+    queue.pop();
+    if (cur == dst) return true;
+    if (cur != src) {
+      // Transit shaping mirrors the ECMA adapter: stub/multi-homed ADs
+      // never transit; hybrids transit only toward their own neighbors.
+      if (is_stub_role(topo, cur)) continue;
+      if (topo.ad(cur).role == AdRole::kHybrid &&
+          !topo.find_link(cur, dst)) {
+        continue;
+      }
+    }
+    for (const Adjacency& adj : topo.live_neighbors(cur)) {
+      if (!net.alive(adj.neighbor)) continue;
+      const bool hop_is_up = order.is_up(cur, adj.neighbor);
+      if (gone_down && hop_is_up) continue;  // up after down: illegal shape
+      const bool next_gone_down = gone_down || !hop_is_up;
+      const std::size_t state = adj.neighbor.v * 2 + (next_gone_down ? 1 : 0);
+      if (!seen[state]) {
+        seen[state] = true;
+        queue.emplace(adj.neighbor, next_gone_down);
+      }
+    }
+  }
+  return false;
+}
+
+// Ground truth for the policy-term design points: a route exists iff the
+// synthesis oracle finds one over the live topology and real policy
+// database, avoiding crashed ADs.
+bool policy_reachable(const Network& net, const Topology& topo,
+                      const PolicySet& policies, AdId src, AdId dst) {
+  FlowSpec flow;
+  flow.src = src;
+  flow.dst = dst;
+  SynthesisOptions options;
+  options.first_found = true;
+  options.expansion_budget = 200'000;
+  for (const Ad& ad : topo.ads()) {
+    if (!net.alive(ad.id)) options.avoid.push_back(ad.id);
+  }
+  const GroundTruthView view(topo, policies);
+  return synthesize_route(view, flow, options).found();
+}
+
+std::uint64_t counter_fingerprint(const Network& net, const Topology& topo) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const Ad& ad : topo.ads()) {
+    const Counters& c = net.counters(ad.id);
+    h = fnv_mix(h, c.msgs_sent);
+    h = fnv_mix(h, c.bytes_sent);
+    h = fnv_mix(h, c.msgs_delivered);
+    h = fnv_mix(h, c.msgs_dropped);
+    h = fnv_mix(h, c.msgs_corrupted);
+    h = fnv_mix(h, c.msgs_duplicated);
+    h = fnv_mix(h, c.msgs_reordered);
+    h = fnv_mix(h, c.malformed_dropped);
+  }
+  return h;
+}
+
+}  // namespace
+
+const std::vector<std::string>& chaos_design_points() {
+  static const std::vector<std::string> kPoints = {"ecma", "idrp", "ls-hbh",
+                                                   "orwg"};
+  return kPoints;
+}
+
+ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
+  Figure1 fig = build_figure1();
+  Topology& topo = fig.topo;
+  const PolicySet policies = make_open_policies(topo);
+
+  Engine engine;
+  Network net(engine, topo);
+
+  // --- per-design-point node factory (also used for cold restarts) ----
+  OrderResult order;
+  Network::NodeFactory factory;
+  if (arch == "ecma") {
+    order = compute_partial_order(topo, {});
+    IDR_CHECK_MSG(order.ok, "structural ordering conflict on Figure 1");
+    factory = [&topo, &order, &params](AdId ad) -> std::unique_ptr<Node> {
+      EcmaConfig config;
+      config.stub = is_stub_role(topo, ad);
+      if (topo.ad(ad).role == AdRole::kHybrid) {
+        for (const Adjacency& adj : topo.neighbors(ad)) {
+          config.export_dsts.insert(adj.neighbor.v);
+        }
+      }
+      auto node = std::make_unique<EcmaNode>(&order.order, std::move(config));
+      node->set_periodic_refresh(params.periodic_refresh_ms);
+      return node;
+    };
+  } else if (arch == "idrp") {
+    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
+      auto node = std::make_unique<IdrpNode>(&policies);
+      node->set_periodic_refresh(params.periodic_refresh_ms);
+      return node;
+    };
+  } else if (arch == "ls-hbh") {
+    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
+      auto node = std::make_unique<LshhNode>(&policies);
+      node->set_periodic_refresh(params.periodic_refresh_ms);
+      return node;
+    };
+  } else if (arch == "orwg") {
+    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
+      OrwgConfig config;
+      config.periodic_refresh_ms = params.periodic_refresh_ms;
+      return std::make_unique<OrwgNode>(&policies, config);
+    };
+  } else {
+    IDR_CHECK_MSG(false, "unknown chaos design point");
+  }
+
+  net.set_node_factory(factory);
+  for (const Ad& ad : topo.ads()) net.attach(ad.id, factory(ad.id));
+  net.set_link_notifications(params.link_notifications);
+  std::uint64_t seed_state = params.seed;
+  net.set_faults(params.faults, splitmix64(seed_state));
+  if (params.keepalive.interval_ms > 0.0) net.set_keepalive(params.keepalive);
+  net.start_all();
+
+  // --- probe + ground truth -------------------------------------------
+  InvariantMonitor::ProbeFn probe;
+  if (arch == "ecma") {
+    probe = [&net, &topo](AdId src, AdId dst) {
+      bool gone_down = false;
+      return walk_probe(
+          topo, src, dst,
+          [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
+            auto* node = static_cast<EcmaNode*>(net.node(cur));
+            if (!node) return std::nullopt;  // walked into a crashed AD
+            const auto fwd = node->forward(dst, Qos::kDefault, gone_down);
+            if (!fwd) return std::nullopt;
+            gone_down = gone_down || fwd->sets_gone_down;
+            return fwd->via;
+          });
+    };
+  } else if (arch == "idrp") {
+    probe = [&net, &topo](AdId src, AdId dst) {
+      FlowSpec flow;
+      flow.src = src;
+      flow.dst = dst;
+      return walk_probe(
+          topo, src, dst,
+          [&](AdId cur,
+              const std::vector<AdId>& path) -> std::optional<AdId> {
+            auto* node = static_cast<IdrpNode*>(net.node(cur));
+            if (!node) return std::nullopt;
+            const AdId prev =
+                path.size() >= 2 ? path[path.size() - 2] : kNoAd;
+            return node->forward(flow, prev);
+          });
+    };
+  } else if (arch == "ls-hbh") {
+    probe = [&net, &topo](AdId src, AdId dst) {
+      FlowSpec flow;
+      flow.src = src;
+      flow.dst = dst;
+      return walk_probe(
+          topo, src, dst,
+          [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
+            auto* node = static_cast<LshhNode*>(net.node(cur));
+            if (!node) return std::nullopt;
+            return node->forward(flow);
+          });
+    };
+  } else {  // orwg: source-routed, the route server answers at the source
+    probe = [&net](AdId src, AdId dst) {
+      Probe p;
+      auto* node = static_cast<OrwgNode*>(net.node(src));
+      if (!node) return p;  // monitor skips dead endpoints anyway
+      FlowSpec flow;
+      flow.src = src;
+      flow.dst = dst;
+      auto path = node->policy_route(flow);
+      if (!path) {
+        p.path.push_back(src);
+        return p;  // kBlackHole
+      }
+      p.outcome = ProbeOutcome::kDelivered;
+      p.path = std::move(*path);
+      return p;
+    };
+  }
+
+  InvariantMonitor monitor(net, params.invariants, std::move(probe));
+  if (arch == "ecma") {
+    monitor.set_reachable_fn([&net, &topo, &order](AdId src, AdId dst) {
+      return ecma_reachable(net, topo, order.order, src, dst);
+    });
+  } else {
+    monitor.set_reachable_fn([&net, &topo, &policies](AdId src, AdId dst) {
+      return policy_reachable(net, topo, policies, src, dst);
+    });
+  }
+  net.set_churn_observer([&monitor] { monitor.note_fault(); });
+  monitor.start(params.horizon_ms);
+
+  // --- seeded churn schedule ------------------------------------------
+  FailureInjector injector(net);
+  const SimTime churn_end = params.horizon_ms * params.churn_fraction;
+  Prng link_prng(splitmix64(seed_state));
+  Prng node_prng(splitmix64(seed_state));
+  injector.random_failures(link_prng, params.link_mean_uptime_ms,
+                           params.link_mean_downtime_ms, churn_end);
+  injector.random_crashes(node_prng, params.node_mean_uptime_ms,
+                          params.node_mean_downtime_ms, churn_end);
+
+  // Keepalives reschedule forever, so drive to the horizon rather than
+  // draining the queue.
+  engine.run_until(params.horizon_ms);
+
+  ChaosResult result;
+  result.arch = arch;
+  result.invariants = monitor.stats();
+  result.totals = net.total();
+  result.losses = net.losses();
+  result.link_failures = injector.failures_injected();
+  result.node_crashes = injector.crashes_injected();
+  result.counter_fingerprint = counter_fingerprint(net, topo);
+  return result;
+}
+
+}  // namespace idr

@@ -1,0 +1,95 @@
+// Chaos harness: runs one of the paper's four design points over the
+// Figure 1 internetwork while links flap, nodes crash and restart cold,
+// and every frame is subject to adversarial delivery faults (loss,
+// corruption, duplication, reordering) -- with the instantaneous
+// link-state oracle switched OFF, so protocols must detect failures from
+// their own keepalive hold timers. An InvariantMonitor sweeps forwarding
+// state throughout and classifies loops / black holes / stale routes as
+// transient (within the reconvergence window of a fault) or persistent
+// (a real correctness failure).
+//
+// The whole run is a pure function of ChaosParams::seed: same seed, same
+// fault schedule, same message trace, byte-identical counters. The soak
+// tool runs every design point twice per seed and fails loudly if the
+// counter fingerprints differ.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proto/common/counters.hpp"
+#include "sim/invariants.hpp"
+#include "sim/network.hpp"
+
+namespace idr {
+
+struct ChaosParams {
+  std::uint64_t seed = 1;
+  SimTime horizon_ms = 10'000.0;
+
+  // Churn is injected in [0, horizon * churn_fraction]; the rest of the
+  // run is a quiet tail in which every violation counts as persistent
+  // once the reconvergence window has elapsed.
+  double churn_fraction = 0.4;
+  SimTime link_mean_uptime_ms = 1'500.0;
+  SimTime link_mean_downtime_ms = 250.0;
+  SimTime node_mean_uptime_ms = 4'000.0;
+  SimTime node_mean_downtime_ms = 300.0;
+
+  FaultConfig faults{
+      .loss_rate = 0.0,  // corruption + checksum already behaves as loss
+      .corrupt_rate = 0.02,
+      .duplicate_rate = 0.02,
+      .reorder_rate = 0.05,
+      .reorder_extra_ms = 5.0,
+      // The modeled datagram checksum catches every flip; mangled frames
+      // are counted and dropped at the interface. Decoder robustness
+      // against frames that evade the checksum is covered separately by
+      // the wire fuzz tests.
+      .corrupt_deliver_fraction = 0.0,
+  };
+
+  KeepaliveConfig keepalive{
+      .interval_ms = 30.0,
+      // 4 misses: with ~2% frame corruption a 3-miss hold timer false-
+      // positives a healthy neighbor once in a few hundred seconds.
+      .miss_threshold = 4,
+      .backoff_factor = 2.0,
+      .max_probe_interval_ms = 0.0,  // 8 * interval
+  };
+
+  // Periodic full-state refresh per node; bounds the staleness left by a
+  // lost/corrupted triggered update (see set_periodic_refresh).
+  double periodic_refresh_ms = 300.0;
+
+  // Instantaneous link-state oracle. Off by default: failure detection is
+  // the keepalive machinery's job.
+  bool link_notifications = false;
+
+  InvariantConfig invariants{
+      .cadence_ms = 100.0,
+      .reconverge_window_ms = 1'500.0,
+      .sample_pairs = 48,
+      .sample_seed = 0x5eedf00dULL,
+  };
+};
+
+struct ChaosResult {
+  std::string arch;
+  InvariantStats invariants;
+  Counters totals;
+  std::uint64_t losses = 0;          // in-flight drops (loss + checksum)
+  std::size_t link_failures = 0;     // link-down events injected
+  std::size_t node_crashes = 0;      // crash events injected
+  std::uint64_t counter_fingerprint = 0;  // FNV-1a over per-AD counters
+};
+
+// The four design points the chaos soak exercises.
+const std::vector<std::string>& chaos_design_points();
+
+// Run `arch` ("ecma" | "idrp" | "ls-hbh" | "orwg") through the seeded
+// churn schedule over the Figure 1 topology with open policies.
+ChaosResult run_chaos(const std::string& arch, const ChaosParams& params);
+
+}  // namespace idr

@@ -19,9 +19,21 @@ class ProtoNode : public Node {
   [[nodiscard]] Network& net() noexcept { return *net_; }
   [[nodiscard]] const Topology& topo() const noexcept { return net_->topo(); }
 
+  // Neighbors this node considers usable: the link is up AND (when
+  // keepalive is enabled) the hold timer has not declared the neighbor
+  // dead. Filtering dead neighbors here is what lets the link-state
+  // protocols stop advertising an adjacency to a crashed neighbor.
   [[nodiscard]] std::vector<Adjacency> live_neighbors() const {
-    return net_->topo().live_neighbors(self_);
+    std::vector<Adjacency> out = net_->topo().live_neighbors(self_);
+    std::erase_if(out, [this](const Adjacency& adj) {
+      return !neighbor_alive(adj.neighbor);
+    });
+    return out;
   }
+
+  // Count-and-drop for a PDU that failed to decode or carried an unknown
+  // message type: never abort on wire input.
+  void drop_malformed() { net_->note_malformed(self_); }
 
   // Send an encoded PDU to an adjacent AD.
   void send_pdu(AdId to, wire::Writer&& w) {

@@ -14,7 +14,7 @@ void DvNode::start() {
 }
 
 void DvNode::schedule_periodic() {
-  net().engine().after(config_.periodic_interval_ms, [this]() {
+  schedule_guarded(config_.periodic_interval_ms, [this]() {
     broadcast_vector();
     schedule_periodic();
   });
@@ -48,16 +48,28 @@ void DvNode::broadcast_vector() {
 }
 
 void DvNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  // Parse the whole update before applying any of it: a truncated or
+  // bit-flipped PDU is counted and dropped, never partially installed.
   wire::Reader r(bytes);
   const std::uint8_t type = r.u8();
-  IDR_CHECK(type == kMsgVector);
   const std::uint16_t count = r.u16();
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> entries;
+  if (r.ok() && type == kMsgVector) {
+    entries.reserve(count);
+    for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint32_t dst = r.u32();
+      const std::uint16_t adv = r.u16();
+      if (r.ok()) entries.emplace_back(dst, adv);
+    }
+  }
+  if (!r.ok() || type != kMsgVector || entries.size() != count) {
+    drop_malformed();
+    return;
+  }
+
   bool changed = false;
   std::unordered_map<std::uint32_t, std::uint16_t> their;
-  for (std::uint16_t i = 0; i < count; ++i) {
-    const std::uint32_t dst = r.u32();
-    const std::uint16_t adv = r.u16();
-    if (!r.ok()) break;
+  for (const auto& [dst, adv] : entries) {
     their[dst] = std::min(adv, their.contains(dst) ? their[dst] : adv);
     if (dst == self().v) continue;
     const std::uint16_t metric = static_cast<std::uint16_t>(
@@ -82,7 +94,6 @@ void DvNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       changed = true;
     }
   }
-  IDR_CHECK_MSG(r.ok(), "malformed DV update");
   if (changed && config_.triggered_updates) broadcast_vector();
 
   // Repair heuristic (stands in for RIP's periodic refresh in the

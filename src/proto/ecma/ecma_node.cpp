@@ -16,6 +16,15 @@ void EcmaNode::start() {
     e.best_down = Route{0, self(), true};
   }
   broadcast();
+  schedule_refresh();
+}
+
+void EcmaNode::schedule_refresh() {
+  if (periodic_refresh_ms_ <= 0.0) return;
+  schedule_guarded(periodic_refresh_ms_, [this] {
+    broadcast();
+    schedule_refresh();
+  });
 }
 
 bool EcmaNode::advertisable(AdId dst) const {
@@ -60,9 +69,33 @@ void EcmaNode::broadcast() {
 }
 
 void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  // Parse the whole update before touching the RIB: a truncated or
+  // corrupted PDU is counted and dropped, never partially applied.
   wire::Reader r(bytes);
-  IDR_CHECK(r.u8() == kMsgUpdate);
+  const std::uint8_t type = r.u8();
   const std::uint16_t count = r.u16();
+  struct RawEntry {
+    AdId dst;
+    std::uint8_t qos_raw;
+    bool adv_down_only;
+    std::uint16_t adv;
+  };
+  std::vector<RawEntry> entries;
+  if (r.ok() && type == kMsgUpdate) {
+    entries.reserve(count);
+    for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+      RawEntry e;
+      e.dst = AdId{r.u32()};
+      e.qos_raw = r.u8();
+      e.adv_down_only = r.u8() != 0;
+      e.adv = r.u16();
+      if (r.ok()) entries.push_back(e);
+    }
+  }
+  if (!r.ok() || type != kMsgUpdate || entries.size() != count) {
+    drop_malformed();
+    return;
+  }
   // Link self -> from: "from is below us" means that link is a down link
   // from our side, hence an up link from theirs.
   const bool from_is_below = neighbor_is_below(from);
@@ -78,12 +111,11 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     std::uint16_t their_best = 0xffff;
   };
   std::map<std::uint64_t, Candidates> per_key;
-  for (std::uint16_t i = 0; i < count; ++i) {
-    const AdId dst{r.u32()};
-    const auto qos_raw = r.u8();
-    const bool adv_down_only = r.u8() != 0;
-    const std::uint16_t adv = r.u16();
-    if (!r.ok()) break;
+  for (const RawEntry& entry : entries) {
+    const AdId dst = entry.dst;
+    const std::uint8_t qos_raw = entry.qos_raw;
+    const bool adv_down_only = entry.adv_down_only;
+    const std::uint16_t adv = entry.adv;
     if (dst == self()) continue;
     if (qos_raw >= kQosCount) continue;
     const auto qos = static_cast<Qos>(qos_raw);
@@ -105,7 +137,6 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       cand.down = Route{metric, from, true};
     }
   }
-  IDR_CHECK_MSG(r.ok(), "malformed ECMA update");
 
   bool changed = false;
   auto apply = [&](Route& slot, const Route& candidate) {

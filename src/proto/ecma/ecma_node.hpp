@@ -49,6 +49,13 @@ class EcmaNode : public ProtoNode {
   void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
   void on_link_change(AdId neighbor, bool up) override;
 
+  // Re-broadcast the full table every `ms` (0 disables, the default).
+  // Triggered updates ride an unreliable datagram service, so a lost (or
+  // checksum-discarded) update would otherwise leave a neighbor stale
+  // forever; the periodic refresh bounds that staleness. Call before
+  // attach/start.
+  void set_periodic_refresh(double ms) noexcept { periodic_refresh_ms_ = ms; }
+
   // Forwarding decision for a packet toward dst with the given QoS that
   // has (or has not) already traversed a down link. Returns the neighbor
   // to forward to and whether the packet's gone-down flag must be set.
@@ -85,6 +92,7 @@ class EcmaNode : public ProtoNode {
   }
 
   void broadcast();
+  void schedule_refresh();
   [[nodiscard]] bool advertisable(AdId dst) const;
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
   [[nodiscard]] bool neighbor_is_below(AdId neighbor) const {
@@ -94,6 +102,7 @@ class EcmaNode : public ProtoNode {
 
   const PartialOrder* order_;
   EcmaConfig config_;
+  double periodic_refresh_ms_ = 0.0;
   std::unordered_map<std::uint64_t, Entry> rib_;
   // Last advertised route per neighbor direction is recomputed on demand;
   // full-table triggered updates keep the protocol simple and honest.

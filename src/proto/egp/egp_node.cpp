@@ -54,9 +54,25 @@ void EgpNode::advertise() {
 }
 
 void EgpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  // Parse the whole update before applying: EGP full-state updates imply
+  // withdrawals for absent destinations, so acting on a truncated PDU
+  // would withdraw routes the sender still has. Count and drop instead.
   wire::Reader r(bytes);
-  IDR_CHECK(r.u8() == kMsgReach);
+  const std::uint8_t type = r.u8();
   const std::uint16_t count = r.u16();
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> entries;
+  if (r.ok() && type == kMsgReach) {
+    entries.reserve(count);
+    for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+      const std::uint32_t dst = r.u32();
+      const std::uint16_t adv = r.u16();
+      if (r.ok()) entries.emplace_back(dst, adv);
+    }
+  }
+  if (!r.ok() || type != kMsgReach || entries.size() != count) {
+    drop_malformed();
+    return;
+  }
   std::uint16_t bias = 0;
   if (const auto it = neighbor_bias_.find(from.v);
       it != neighbor_bias_.end()) {
@@ -66,10 +82,7 @@ void EgpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   // update have been withdrawn (EGP full-state updates).
   std::unordered_map<std::uint32_t, std::uint16_t> their;
   bool changed = false;
-  for (std::uint16_t i = 0; i < count; ++i) {
-    const std::uint32_t dst = r.u32();
-    const std::uint16_t adv = r.u16();
-    if (!r.ok()) break;
+  for (const auto& [dst, adv] : entries) {
     if (dst == self().v) continue;
     their[dst] = adv;
     const auto metric = static_cast<std::uint16_t>(
@@ -90,7 +103,6 @@ void EgpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       changed = true;
     }
   }
-  IDR_CHECK_MSG(r.ok(), "malformed EGP update");
   for (auto& [dst, route] : routes_) {
     if (route.via == from && dst != self().v && !their.contains(dst) &&
         route.metric < kInfinity) {

@@ -100,6 +100,18 @@ void IdrpNode::start() {
   origin.dst = self();
   loc_rib_[self().v] = {origin};
   advertise();
+  schedule_refresh();
+}
+
+void IdrpNode::schedule_refresh() {
+  if (periodic_refresh_ms_ <= 0.0) return;
+  schedule_guarded(periodic_refresh_ms_, [this] {
+    // Bypass the identical-update suppression: the point of the refresh
+    // is to repair a neighbor that missed a triggered update.
+    last_sent_hash_.clear();
+    advertise();
+    schedule_refresh();
+  });
 }
 
 std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
@@ -176,14 +188,25 @@ void IdrpNode::advertise() {
 }
 
 void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
+  // Parse the whole update before replacing the adj-RIB-in: a truncated
+  // PDU must not masquerade as a (shorter) full-state update and
+  // implicitly withdraw routes the sender still advertises.
   wire::Reader r(bytes);
-  IDR_CHECK(r.u8() == kMsgUpdate);
+  const std::uint8_t type = r.u8();
   const std::uint16_t count = r.u16();
+  if (!r.ok() || type != kMsgUpdate) {
+    drop_malformed();
+    return;
+  }
   std::vector<IdrpRoute> received;
   received.reserve(count);
+  bool decode_failed = false;
   for (std::uint16_t i = 0; i < count; ++i) {
     auto route = IdrpRoute::decode(r);
-    if (!route) break;
+    if (!route) {
+      decode_failed = true;
+      break;
+    }
     // Receiver-side validation: path must start at the sender, must not
     // contain us (AD loop), and must serve at least one flow.
     if (route->path.empty() || route->path.front() != from) continue;
@@ -195,7 +218,10 @@ void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     if (!route->attrs.usable()) continue;
     received.push_back(std::move(*route));
   }
-  IDR_CHECK_MSG(r.ok(), "malformed IDRP update");
+  if (decode_failed || !r.ok()) {
+    drop_malformed();
+    return;
+  }
   adj_rib_in_[from.v] = std::move(received);
   reselect_and_maybe_advertise();
 }

@@ -78,6 +78,12 @@ class IdrpNode : public ProtoNode {
   void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
   void on_link_change(AdId neighbor, bool up) override;
 
+  // Re-send the full Adj-RIB-out to every neighbor every `ms` (0 disables,
+  // the default), bypassing the identical-update suppression: a triggered
+  // update lost on the unreliable datagram service would otherwise leave
+  // the neighbor stale forever. Call before attach/start.
+  void set_periodic_refresh(double ms) noexcept { periodic_refresh_ms_ = ms; }
+
   // Forwarding: first selected route for dst whose attributes permit the
   // flow, whose next hop is reachable and -- when we are a transit AD for
   // this packet (`prev` is the adjacent AD it arrived from) -- for which
@@ -108,11 +114,13 @@ class IdrpNode : public ProtoNode {
  private:
   void reselect_and_maybe_advertise();
   void advertise();
+  void schedule_refresh();
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
   [[nodiscard]] std::uint64_t rib_signature() const;
 
   const PolicySet* policies_;
   IdrpConfig config_;
+  double periodic_refresh_ms_ = 0.0;
   // adj-RIB-in: routes as received, per neighbor.
   std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> adj_rib_in_;
   // loc-RIB: selected routes per destination.

@@ -68,18 +68,60 @@ void LsNode::flood(const Lsa& lsa, AdId except) {
 void LsNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   wire::Reader r(bytes);
   const std::uint8_t type = r.u8();
-  IDR_CHECK(type == kMsgLsa);
+  if (!r.ok() || type != kMsgLsa) {
+    drop_malformed();
+    return;
+  }
   auto lsa = Lsa::decode(r);
-  IDR_CHECK_MSG(lsa.has_value(), "malformed LSA");
+  if (!lsa.has_value()) {
+    drop_malformed();
+    return;
+  }
+  if (lsa->origin == self()) {
+    // Our own pre-crash LSA echoed back with a sequence number ahead of
+    // ours (we restarted cold and our counter reset): jump past it and
+    // re-originate, so the reborn adjacency set supersedes the stale one
+    // network-wide (OSPF's sequence-number recovery). Strictly greater:
+    // an echo of our *current* instance (seq equal) must not trigger a
+    // re-origination loop.
+    if (lsa->seq > my_seq_) {
+      my_seq_ = lsa->seq;
+      originate_lsa();
+    }
+    return;
+  }
   auto it = lsdb_.find(lsa->origin.v);
-  if (it != lsdb_.end() && it->second.seq >= lsa->seq) return;  // stale
+  if (it != lsdb_.end() && it->second.seq >= lsa->seq) {
+    if (it->second.seq > lsa->seq) {
+      // Answer a stale copy with the newer database copy (OSPF's rule),
+      // so a cold-restarted origin whose one-shot DB sync was lost keeps
+      // being told its pre-crash sequence number on every refresh.
+      wire::Writer w;
+      w.u8(kMsgLsa);
+      it->second.encode(w);
+      send_pdu(from, std::move(w));
+    }
+    return;
+  }
   lsdb_[lsa->origin.v] = *lsa;
   dirty_ = true;
   flood(*lsa, from);
 }
 
-void LsNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+void LsNode::on_link_change(AdId neighbor, bool up) {
   originate_lsa();
+  if (up && neighbor.valid()) {
+    // Database synchronization for a neighbor that just (re)appeared: a
+    // cold-restarted node only ever hears LSAs flooded after its rebirth,
+    // so send it the whole database (OSPF's DB exchange, simplified).
+    for (const auto& [origin, lsa] : lsdb_) {
+      (void)origin;
+      wire::Writer w;
+      w.u8(kMsgLsa);
+      lsa.encode(w);
+      send_pdu(neighbor, std::move(w));
+    }
+  }
 }
 
 void LsNode::recompute(Qos qos) {

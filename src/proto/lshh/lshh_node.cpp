@@ -6,7 +6,18 @@
 
 namespace idr {
 
-void LshhNode::start() { originate_lsa(); }
+void LshhNode::start() {
+  originate_lsa();
+  schedule_refresh();
+}
+
+void LshhNode::schedule_refresh() {
+  if (periodic_refresh_ms_ <= 0.0) return;
+  schedule_guarded(periodic_refresh_ms_, [this] {
+    originate_lsa();
+    schedule_refresh();
+  });
+}
 
 void LshhNode::originate_lsa() {
   PolicyLsa lsa;
@@ -38,14 +49,52 @@ void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
 
 void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   wire::Reader r(bytes);
-  IDR_CHECK(r.u8() == kMsgLsa);
+  const std::uint8_t type = r.u8();
+  if (!r.ok() || type != kMsgLsa) {
+    drop_malformed();
+    return;
+  }
   auto lsa = PolicyLsa::decode(r);
-  IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA");
+  if (!lsa.has_value()) {
+    drop_malformed();
+    return;
+  }
+  if (lsa->origin == self()) {
+    // Sequence-number recovery after a cold restart: our own pre-crash
+    // LSA came back ahead of our (reset) counter. Strictly greater: an
+    // echo of our current instance must not re-trigger origination.
+    if (lsa->seq > my_seq_) {
+      my_seq_ = lsa->seq;
+      originate_lsa();
+    }
+    return;
+  }
+  if (const PolicyLsa* have = lsdb_.get(lsa->origin);
+      have && lsa->seq < have->seq && from.valid()) {
+    // Answer a stale copy with the newer database copy (OSPF's rule), so
+    // a cold-restarted origin whose one-shot DB sync was lost keeps being
+    // told its pre-crash sequence number on every refresh it emits.
+    wire::Writer w;
+    w.u8(kMsgLsa);
+    have->encode(w);
+    send_pdu(from, std::move(w));
+    return;
+  }
   if (lsdb_.insert(*lsa)) flood_lsa(*lsa, from);
 }
 
-void LshhNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+void LshhNode::on_link_change(AdId neighbor, bool up) {
   originate_lsa();
+  if (up && neighbor.valid()) {
+    // DB sync for a neighbor that just (re)appeared, so a cold-restarted
+    // node rebuilds the full map instead of only hearing future changes.
+    lsdb_.for_each([&](const PolicyLsa& lsa) {
+      wire::Writer w;
+      w.u8(kMsgLsa);
+      lsa.encode(w);
+      send_pdu(neighbor, std::move(w));
+    });
+  }
 }
 
 std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {

@@ -33,6 +33,11 @@ class LshhNode : public ProtoNode {
   void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
   void on_link_change(AdId neighbor, bool up) override;
 
+  // Re-originate our LSA every `ms` (0 disables, the default). The fresh
+  // sequence number re-floods network-wide, repairing any database hole a
+  // lost or corrupted flood left behind. Call before attach/start.
+  void set_periodic_refresh(double ms) noexcept { periodic_refresh_ms_ = ms; }
+
   // Hop-by-hop forwarding decision for a packet of `flow` currently at
   // this AD: recompute (or fetch from the per-flow cache) the globally
   // agreed path for the flow and return our successor on it. nullopt if
@@ -64,6 +69,7 @@ class LshhNode : public ProtoNode {
 
   void originate_lsa();
   void flood_lsa(const PolicyLsa& lsa, AdId except);
+  void schedule_refresh();
   [[nodiscard]] static std::uint64_t cache_key(const FlowSpec& flow) noexcept {
     // Source-specific key: hop-by-hop policy routing cannot collapse
     // sources (the paper's state-blowup point).
@@ -74,6 +80,7 @@ class LshhNode : public ProtoNode {
 
   const PolicySet* policies_;
   PolicyLsdb lsdb_;
+  double periodic_refresh_ms_ = 0.0;
   std::uint32_t my_seq_ = 0;
   std::unordered_map<std::uint64_t, CacheEntry> cache_;
   std::uint64_t path_computations_ = 0;

@@ -47,6 +47,15 @@ void OrwgNode::start() {
       self(), &lsdb_, topo().ad_count(), &policies_->source_policy(self()),
       config_.route_server);
   originate_lsa();
+  schedule_refresh();
+}
+
+void OrwgNode::schedule_refresh() {
+  if (config_.periodic_refresh_ms <= 0.0) return;
+  schedule_guarded(config_.periodic_refresh_ms, [this] {
+    originate_lsa();
+    schedule_refresh();
+  });
 }
 
 void OrwgNode::originate_lsa() {
@@ -75,6 +84,29 @@ void OrwgNode::accept_lsa(PolicyLsa lsa, AdId from) {
       return;
     }
   }
+  if (lsa.origin == self()) {
+    // Sequence-number recovery after a cold restart: our own pre-crash
+    // LSA came back ahead of our (reset) counter. Strictly greater: an
+    // echo of our current instance must not re-trigger origination.
+    if (lsa.seq > my_seq_) {
+      my_seq_ = lsa.seq;
+      originate_lsa();
+    }
+    return;
+  }
+  if (const PolicyLsa* have = lsdb_.get(lsa.origin);
+      have && lsa.seq < have->seq && from.valid()) {
+    // Answer a stale copy with the newer database copy (OSPF's rule).
+    // This is what makes cold-restart recovery robust on an unreliable
+    // service: if the one-shot DB sync carrying the origin's pre-crash
+    // LSA is lost, every periodic refresh it sends at a low sequence
+    // number re-triggers this reply until fight-back succeeds.
+    wire::Writer w;
+    w.u8(kMsgLsa);
+    have->encode(w);
+    send_pdu(from, std::move(w));
+    return;
+  }
   if (lsdb_.insert(lsa)) flood_lsa(lsa, from);
 }
 
@@ -89,8 +121,7 @@ void OrwgNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
   pending_floods_.emplace_back(lsa, except);
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
-    net().engine().after(config_.lsa_batch_ms,
-                         [this] { flush_pending_floods(); });
+    schedule_guarded(config_.lsa_batch_ms, [this] { flush_pending_floods(); });
   }
 }
 
@@ -116,8 +147,19 @@ void OrwgNode::flush_pending_floods() {
   }
 }
 
-void OrwgNode::on_link_change(AdId /*neighbor*/, bool /*up*/) {
+void OrwgNode::on_link_change(AdId neighbor, bool up) {
   originate_lsa();
+  if (up && neighbor.valid()) {
+    // DB sync for a neighbor that just (re)appeared, so a cold-restarted
+    // route server rebuilds the full map instead of only hearing future
+    // changes.
+    lsdb_.for_each([&](const PolicyLsa& lsa) {
+      wire::Writer w;
+      w.u8(kMsgLsa);
+      lsa.encode(w);
+      send_pdu(neighbor, std::move(w));
+    });
+  }
 }
 
 // --- Policy Route establishment ---------------------------------------------
@@ -156,7 +198,7 @@ void OrwgNode::transmit_setup(PrHandle handle) {
 }
 
 void OrwgNode::schedule_setup_retry(PrHandle handle) {
-  net().engine().after(config_.setup_retry_ms, [this, handle] {
+  schedule_guarded(config_.setup_retry_ms, [this, handle] {
     const auto it = pending_.find(handle.v);
     if (it == pending_.end()) return;  // acked or nakked meanwhile
     if (++it->second.retries > config_.setup_max_retries) {
@@ -309,21 +351,38 @@ void OrwgNode::fail_active_pr(PrHandle handle, AdId report_from,
 void OrwgNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   wire::Reader r(bytes);
   const std::uint8_t type = r.u8();
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   switch (type) {
     case kMsgLsa: {
       auto lsa = PolicyLsa::decode(r);
-      IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA");
+      if (!lsa.has_value()) {
+        drop_malformed();
+        return;
+      }
       accept_lsa(std::move(*lsa), from);
       break;
     }
     case kMsgLsaBatch: {
+      // Decode the whole batch before accepting any LSA from it: a batch
+      // truncated mid-LSA must not partially apply.
       const std::uint16_t count = r.u16();
-      for (std::uint16_t i = 0; i < count; ++i) {
-        auto lsa = PolicyLsa::decode(r);
-        IDR_CHECK_MSG(lsa.has_value(), "malformed policy LSA in batch");
-        accept_lsa(std::move(*lsa), from);
+      std::vector<PolicyLsa> lsas;
+      if (r.ok()) {
+        lsas.reserve(count);
+        for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+          auto lsa = PolicyLsa::decode(r);
+          if (!lsa.has_value()) break;
+          lsas.push_back(std::move(*lsa));
+        }
       }
-      IDR_CHECK_MSG(r.ok(), "malformed LSA batch");
+      if (!r.ok() || lsas.size() != count) {
+        drop_malformed();
+        return;
+      }
+      for (PolicyLsa& lsa : lsas) accept_lsa(std::move(lsa), from);
       break;
     }
     case kMsgSetup:
@@ -345,7 +404,8 @@ void OrwgNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       handle_error(r);
       break;
     default:
-      IDR_CHECK_MSG(false, "unknown ORWG message type");
+      // Unknown message type (stray or bit-flipped frame): count + drop.
+      drop_malformed();
   }
 }
 
@@ -354,7 +414,10 @@ void OrwgNode::handle_setup(AdId from, wire::Reader& r) {
   const FlowSpec flow = decode_flow(r);
   const std::vector<AdId> path = decode_path(r);
   const std::uint16_t position = r.u16();
-  IDR_CHECK_MSG(r.ok(), "malformed setup");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
 
   const auto verdict =
       gateway_->validate_and_install(handle, flow, path, position);
@@ -385,7 +448,10 @@ void OrwgNode::handle_setup(AdId from, wire::Reader& r) {
 
 void OrwgNode::handle_ack(wire::Reader& r) {
   const PrHandle handle{r.u64()};
-  IDR_CHECK_MSG(r.ok(), "malformed ack");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   const SetupState* state = gateway_->peek(handle);
   if (!state) return;  // PR vanished while the ack was in flight
   if (state->prev.valid()) {
@@ -414,7 +480,10 @@ void OrwgNode::handle_ack(wire::Reader& r) {
 void OrwgNode::handle_nak(wire::Reader& r) {
   const PrHandle handle{r.u64()};
   const std::uint8_t reason = r.u8();
-  IDR_CHECK_MSG(r.ok(), "malformed nak");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   const SetupState* state = gateway_->peek(handle);
   if (!state) return;
   const AdId prev = state->prev;
@@ -438,7 +507,10 @@ void OrwgNode::handle_nak(wire::Reader& r) {
 
 void OrwgNode::handle_teardown(wire::Reader& r) {
   const PrHandle handle{r.u64()};
-  IDR_CHECK_MSG(r.ok(), "malformed teardown");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   const SetupState* state = gateway_->peek(handle);
   if (!state) return;
   const AdId next = state->next;
@@ -455,7 +527,10 @@ void OrwgNode::handle_error(wire::Reader& r) {
   const PrHandle handle{r.u64()};
   const AdId report_from{r.u32()};
   const AdId dead_next{r.u32()};
-  IDR_CHECK_MSG(r.ok(), "malformed error");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   const SetupState* state = gateway_->peek(handle);
   if (!state) return;
   const AdId prev = state->prev;
@@ -474,7 +549,10 @@ void OrwgNode::handle_data(AdId from, wire::Reader& r) {
   const std::uint32_t seq = r.u32();
   const auto sent_at = std::bit_cast<double>(r.u64());
   const std::uint16_t payload_len = r.u16();
-  IDR_CHECK_MSG(r.ok(), "malformed data packet");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
 
   const SetupState* state =
       gateway_->lookup(handle, from, claimed_src, payload_len);
@@ -488,7 +566,11 @@ void OrwgNode::handle_data(AdId from, wire::Reader& r) {
     if (delivery_handler_) {
       std::vector<std::uint8_t> payload(payload_len);
       for (auto& b : payload) b = r.u8();
-      if (r.ok()) delivery_handler_(state->flow, seq, payload);
+      if (r.ok()) {
+        delivery_handler_(state->flow, seq, payload);
+      } else {
+        drop_malformed();
+      }
     }
     return;
   }
@@ -501,7 +583,10 @@ void OrwgNode::handle_data(AdId from, wire::Reader& r) {
   w.u16(payload_len);
   std::vector<std::uint8_t> payload(payload_len);
   for (auto& b : payload) b = r.u8();
-  IDR_CHECK_MSG(r.ok(), "truncated data payload");
+  if (!r.ok()) {
+    drop_malformed();
+    return;
+  }
   w.raw(payload);
   const AdId next = state->next;
   if (!net().send(self(), next, std::move(w).take())) {

@@ -44,6 +44,10 @@ struct OrwgConfig {
   // into one message per neighbor, trading propagation delay for
   // messages (measured by bench_db_distribution).
   double lsa_batch_ms = 0.0;
+  // Re-originate our LSA every periodic_refresh_ms (0 disables). The
+  // fresh sequence number re-floods network-wide, repairing any database
+  // hole a lost or corrupted flood left behind.
+  double periodic_refresh_ms = 0.0;
   // LSA origin authentication (paper §2.3's assurance dimension): when
   // set, points at a per-AD key table (index = AdId); LSAs are tagged by
   // their origin and verified at every receiver; forgeries are dropped.
@@ -141,6 +145,7 @@ class OrwgNode : public ProtoNode {
 
   void originate_lsa();
   void flood_lsa(const PolicyLsa& lsa, AdId except);
+  void schedule_refresh();
   void flush_pending_floods();
   bool establish_pr(const FlowSpec& flow, PendingPr pending);
   void transmit_setup(PrHandle handle);

@@ -1,11 +1,17 @@
 #include "sim/engine.hpp"
 
+#include <cassert>
+
 #include "util/check.hpp"
 
 namespace idr {
 
 void Engine::at(SimTime t, Callback fn) {
-  IDR_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  // Scheduling into the simulated past is a caller bug (typically a stale
+  // absolute timestamp); clamp to now() so the event still runs, in FIFO
+  // order with anything else due now, and trip debug builds loudly.
+  assert(t >= now_ && "Engine::at: scheduling into the simulated past");
+  if (t < now_) t = now_;
   queue_.push(Event{t, next_seq_++, std::move(fn)});
 }
 

@@ -14,6 +14,17 @@ void FailureInjector::fail_link_at(LinkId link, SimTime at_ms,
   }
 }
 
+void FailureInjector::crash_node_at(AdId ad, SimTime at_ms,
+                                    SimTime duration_ms) {
+  net_.engine().at(at_ms, [this, ad] {
+    ++crashes_;
+    net_.crash(ad);
+  });
+  if (duration_ms > 0.0) {
+    net_.engine().at(at_ms + duration_ms, [this, ad] { net_.restart(ad); });
+  }
+}
+
 void FailureInjector::random_failures(Prng& prng, SimTime mean_uptime_ms,
                                       SimTime mean_downtime_ms,
                                       SimTime horizon_ms) {
@@ -23,22 +34,54 @@ void FailureInjector::random_failures(Prng& prng, SimTime mean_uptime_ms,
   }
 }
 
+void FailureInjector::random_crashes(Prng& prng, SimTime mean_uptime_ms,
+                                     SimTime mean_downtime_ms,
+                                     SimTime horizon_ms) {
+  for (const Ad& ad : net_.topo().ads()) {
+    schedule_crash_cycle(prng.fork(), ad.id, net_.engine().now(),
+                         mean_uptime_ms, mean_downtime_ms, horizon_ms);
+  }
+}
+
 void FailureInjector::schedule_cycle(Prng prng, LinkId link, SimTime t,
                                      SimTime mean_uptime_ms,
                                      SimTime mean_downtime_ms,
                                      SimTime horizon_ms) {
   const SimTime fail_at = t + prng.exponential(mean_uptime_ms);
-  if (fail_at > horizon_ms) return;
+  if (fail_at > horizon_ms) return;  // no NEW failures past the horizon
   const SimTime repair_at = fail_at + prng.exponential(mean_downtime_ms);
   net_.engine().at(fail_at, [this, link] {
     ++failures_;
     net_.set_link_state(link, false);
   });
+  // The repair is always scheduled, even past the horizon: otherwise a
+  // link that fails just before horizon_ms stays down forever and skews
+  // every post-horizon availability measurement.
+  net_.engine().at(repair_at,
+                   [this, link] { net_.set_link_state(link, true); });
   if (repair_at <= horizon_ms) {
-    net_.engine().at(repair_at,
-                     [this, link] { net_.set_link_state(link, true); });
     schedule_cycle(prng, link, repair_at, mean_uptime_ms, mean_downtime_ms,
                    horizon_ms);
+  }
+}
+
+void FailureInjector::schedule_crash_cycle(Prng prng, AdId ad, SimTime t,
+                                           SimTime mean_uptime_ms,
+                                           SimTime mean_downtime_ms,
+                                           SimTime horizon_ms) {
+  const SimTime crash_at = t + prng.exponential(mean_uptime_ms);
+  if (crash_at > horizon_ms) return;
+  const SimTime restart_at = crash_at + prng.exponential(mean_downtime_ms);
+  net_.engine().at(crash_at, [this, ad] {
+    ++crashes_;
+    net_.crash(ad);
+  });
+  // As with links, the restart is unconditional so no AD stays crashed
+  // forever just because its crash landed near the horizon.
+  net_.engine().at(restart_at, [this, ad] { net_.restart(ad); });
+  if (restart_at <= horizon_ms) {
+    schedule_crash_cycle(prng, ad, restart_at, mean_uptime_ms,
+                         mean_downtime_ms, horizon_ms);
   }
 }
 

@@ -1,7 +1,8 @@
 // Failure injection (paper §2.2: inter-AD links fail; protocols must be
 // "somewhat adaptive" to inter-AD topology change). Schedules link
-// failures and repairs on the simulation clock, either scripted or drawn
-// from exponential inter-arrival/repair distributions.
+// failures/repairs and node crashes/restarts on the simulation clock,
+// either scripted or drawn from exponential inter-arrival/repair
+// distributions.
 #pragma once
 
 #include <cstdint>
@@ -20,23 +21,42 @@ class FailureInjector {
   // (never, if duration_ms <= 0).
   void fail_link_at(LinkId link, SimTime at_ms, SimTime duration_ms = 0.0);
 
+  // Scripted: the AD's node crashes at `at_ms` (all soft state lost) and
+  // is restarted cold `duration_ms` later (never, if duration_ms <= 0;
+  // restart requires the network to have a node factory).
+  void crash_node_at(AdId ad, SimTime at_ms, SimTime duration_ms = 0.0);
+
   // Random background failures: each live link independently fails with
   // exponential inter-arrival `mean_uptime_ms` and repairs after
-  // exponential `mean_downtime_ms`, until `horizon_ms`.
+  // exponential `mean_downtime_ms`. New failures stop at `horizon_ms`;
+  // the repair for an already-scheduled failure is always scheduled, so
+  // no link is left down forever by the horizon cutoff.
   void random_failures(Prng& prng, SimTime mean_uptime_ms,
                        SimTime mean_downtime_ms, SimTime horizon_ms);
 
+  // Random background node crashes, same process per AD. Requires a node
+  // factory on the network for the restarts.
+  void random_crashes(Prng& prng, SimTime mean_uptime_ms,
+                      SimTime mean_downtime_ms, SimTime horizon_ms);
+
   [[nodiscard]] std::size_t failures_injected() const noexcept {
     return failures_;
+  }
+  [[nodiscard]] std::size_t crashes_injected() const noexcept {
+    return crashes_;
   }
 
  private:
   void schedule_cycle(Prng prng, LinkId link, SimTime t,
                       SimTime mean_uptime_ms, SimTime mean_downtime_ms,
                       SimTime horizon_ms);
+  void schedule_crash_cycle(Prng prng, AdId ad, SimTime t,
+                            SimTime mean_uptime_ms, SimTime mean_downtime_ms,
+                            SimTime horizon_ms);
 
   Network& net_;
   std::size_t failures_ = 0;
+  std::size_t crashes_ = 0;
 };
 
 }  // namespace idr

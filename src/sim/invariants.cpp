@@ -1,0 +1,142 @@
+#include "sim/invariants.hpp"
+
+#include <queue>
+#include <utility>
+
+namespace idr {
+
+InvariantMonitor::InvariantMonitor(Network& net, InvariantConfig config,
+                                   ProbeFn probe)
+    : net_(net),
+      config_(config),
+      probe_(std::move(probe)),
+      sample_prng_(config.sample_seed) {}
+
+void InvariantMonitor::start(SimTime until_ms) {
+  until_ms_ = until_ms;
+  // Cold start is itself a network-wide event: every node boots with an
+  // empty RIB and the first updates are still in flight (and subject to
+  // the same loss/corruption as any other frame). Grant the initial
+  // convergence the same grace window a fault gets, and measure it.
+  note_fault();
+  schedule_next();
+}
+
+void InvariantMonitor::schedule_next() {
+  const SimTime next = net_.engine().now() + config_.cadence_ms;
+  if (next > until_ms_) return;
+  net_.engine().at(next, [this] {
+    sweep();
+    schedule_next();
+  });
+}
+
+void InvariantMonitor::note_fault() {
+  last_fault_at_ = net_.engine().now();
+  awaiting_clean_sweep_ = true;
+}
+
+bool InvariantMonitor::default_reachable(AdId src, AdId dst) const {
+  if (!net_.alive(src) || !net_.alive(dst)) return false;
+  const Topology& topo = net_.topo();
+  std::vector<bool> seen(topo.ad_count(), false);
+  std::queue<AdId> q;
+  q.push(src);
+  seen[src.v] = true;
+  while (!q.empty()) {
+    const AdId cur = q.front();
+    q.pop();
+    if (cur == dst) return true;
+    for (const Adjacency& adj : topo.live_neighbors(cur)) {
+      if (seen[adj.neighbor.v] || !net_.alive(adj.neighbor)) continue;
+      seen[adj.neighbor.v] = true;
+      q.push(adj.neighbor);
+    }
+  }
+  return false;
+}
+
+bool InvariantMonitor::path_is_fresh(const std::vector<AdId>& path) const {
+  // A delivered path is fresh only if every hop crosses a live link and
+  // every AD on it is alive; otherwise the FIB entries that produced it
+  // are stale (pointing at dead infrastructure).
+  const Topology& topo = net_.topo();
+  for (const AdId ad : path) {
+    if (!net_.alive(ad)) return false;
+  }
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto link = topo.find_link(path[i], path[i + 1]);
+    if (!link || !topo.link(*link).up) return false;
+  }
+  return true;
+}
+
+void InvariantMonitor::sweep() {
+  const Topology& topo = net_.topo();
+  const std::size_t n = topo.ad_count();
+  ++stats_.sweeps;
+  const SimTime now = net_.engine().now();
+  const bool settled = last_fault_at_ < 0.0 ||
+                       now - last_fault_at_ > config_.reconverge_window_ms;
+
+  std::uint64_t violations = 0;
+  auto classify = [&](AdId src, AdId dst) {
+    if (!net_.alive(src) || !net_.alive(dst)) return;  // no one to ask
+    ++stats_.probes;
+    const Probe probe = probe_(src, dst);
+    const bool reachable =
+        reachable_ ? reachable_(src, dst) : default_reachable(src, dst);
+    switch (probe.outcome) {
+      case ProbeOutcome::kLooped:
+        ++violations;
+        if (settled) {
+          ++stats_.persistent_loops;
+        } else {
+          ++stats_.transient_loops;
+        }
+        break;
+      case ProbeOutcome::kBlackHole:
+        if (reachable) {
+          ++violations;
+          if (settled) {
+            ++stats_.persistent_black_holes;
+          } else {
+            ++stats_.transient_black_holes;
+          }
+        }
+        break;
+      case ProbeOutcome::kDelivered:
+        if (!path_is_fresh(probe.path)) {
+          ++violations;
+          if (settled) {
+            ++stats_.persistent_stale_routes;
+          } else {
+            ++stats_.transient_stale_routes;
+          }
+        }
+        break;
+    }
+  };
+
+  if (config_.sample_pairs == 0 || n * (n - 1) <= config_.sample_pairs) {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      for (std::uint32_t d = 0; d < n; ++d) {
+        if (s != d) classify(AdId{s}, AdId{d});
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < config_.sample_pairs; ++i) {
+      const auto s = static_cast<std::uint32_t>(sample_prng_.below(n));
+      auto d = static_cast<std::uint32_t>(sample_prng_.below(n - 1));
+      if (d >= s) ++d;
+      classify(AdId{s}, AdId{d});
+    }
+  }
+
+  if (violations == 0 && awaiting_clean_sweep_) {
+    stats_.reconverge_ms.add(now - last_fault_at_);
+    awaiting_clean_sweep_ = false;
+  }
+}
+
+}  // namespace idr

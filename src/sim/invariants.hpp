@@ -1,0 +1,122 @@
+// Continuous invariant checking under fault injection.
+//
+// The paper's comparative claims (loop-freedom, route availability,
+// convergence) are only meaningful if they hold *while* the inter-AD
+// topology churns (§2.2), not just after a single scripted failure. The
+// InvariantMonitor sweeps the network on a configurable cadence: for a
+// deterministic sample of (src, dst) pairs it asks the harness to walk
+// the protocol's current forwarding choice hop by hop (the ProbeFn) and
+// classifies the result against ground-truth reachability:
+//
+//   * forwarding loop  -- the walk revisited an AD;
+//   * black hole       -- the walk gave up although a ground-truth path
+//                         exists (over live links between live nodes);
+//   * stale route      -- the walk "delivered" but crossed a down link or
+//                         a crashed node, i.e. the FIB is lying.
+//
+// A violation observed within reconverge_window_ms of the most recent
+// injected fault is transient (the protocol is allowed to be wrong while
+// news propagates); outside that window it is persistent -- a real
+// correctness failure. The monitor also records time-to-reconverge: the
+// delay from each fault burst to the first subsequent all-clean sweep.
+//
+// The monitor is protocol-agnostic: walking FIBs is supplied by the
+// harness (ProbeFn), and ground-truth reachability can be overridden
+// (ReachableFn) for designs whose legal path set is narrower than the
+// live topology -- ECMA's up*down* shape rule, for example.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "util/prng.hpp"
+#include "util/stats.hpp"
+
+namespace idr {
+
+enum class ProbeOutcome : std::uint8_t {
+  kDelivered = 0,  // walk reached dst; path holds the hops src..dst
+  kLooped = 1,     // walk revisited an AD (or exceeded the hop budget)
+  kBlackHole = 2,  // some node had no forwarding choice toward dst
+};
+
+struct Probe {
+  ProbeOutcome outcome = ProbeOutcome::kBlackHole;
+  std::vector<AdId> path;  // hops visited, starting at src
+};
+
+struct InvariantConfig {
+  SimTime cadence_ms = 50.0;
+  // Violations within this window after the latest fault are transient.
+  SimTime reconverge_window_ms = 500.0;
+  // (src, dst) pairs sampled per sweep; 0 = probe every ordered pair.
+  std::size_t sample_pairs = 64;
+  std::uint64_t sample_seed = 0x5eedf00dULL;
+};
+
+struct InvariantStats {
+  std::uint64_t sweeps = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t transient_loops = 0;
+  std::uint64_t transient_black_holes = 0;
+  std::uint64_t transient_stale_routes = 0;
+  std::uint64_t persistent_loops = 0;
+  std::uint64_t persistent_black_holes = 0;
+  std::uint64_t persistent_stale_routes = 0;
+  Summary reconverge_ms;  // fault burst -> first all-clean sweep
+
+  [[nodiscard]] std::uint64_t persistent_violations() const noexcept {
+    return persistent_loops + persistent_black_holes +
+           persistent_stale_routes;
+  }
+  [[nodiscard]] std::uint64_t transient_violations() const noexcept {
+    return transient_loops + transient_black_holes + transient_stale_routes;
+  }
+};
+
+class InvariantMonitor {
+ public:
+  using ProbeFn = std::function<Probe(AdId src, AdId dst)>;
+  using ReachableFn = std::function<bool(AdId src, AdId dst)>;
+
+  InvariantMonitor(Network& net, InvariantConfig config, ProbeFn probe);
+
+  // Override ground-truth reachability (default: BFS over live links
+  // between alive nodes).
+  void set_reachable_fn(ReachableFn fn) { reachable_ = std::move(fn); }
+
+  // Sweep on the cadence until `until_ms` (inclusive of the first sweep
+  // one cadence from now).
+  void start(SimTime until_ms);
+
+  // The fault injector (or chaos driver) reports each injected fault so
+  // the monitor can distinguish transient from persistent violations and
+  // time reconvergence.
+  void note_fault();
+
+  // Run one sweep immediately (also used by the periodic schedule).
+  void sweep();
+
+  [[nodiscard]] const InvariantStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  [[nodiscard]] bool default_reachable(AdId src, AdId dst) const;
+  [[nodiscard]] bool path_is_fresh(const std::vector<AdId>& path) const;
+  void schedule_next();
+
+  Network& net_;
+  InvariantConfig config_;
+  ProbeFn probe_;
+  ReachableFn reachable_;
+  Prng sample_prng_;
+  InvariantStats stats_;
+  SimTime until_ms_ = 0.0;
+  SimTime last_fault_at_ = -1.0;  // <0: no fault yet
+  bool awaiting_clean_sweep_ = false;
+};
+
+}  // namespace idr

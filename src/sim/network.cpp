@@ -1,14 +1,113 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.hpp"
 
 namespace idr {
 
+// --- Node: delivery + keepalive liveness -----------------------------
+
+void Node::deliver(AdId from, std::span<const std::uint8_t> bytes) {
+  // Any frame heard from a neighbor -- keepalive, protocol PDU, even a
+  // mangled one -- proves the neighbor is up and refreshes its hold timer.
+  if (keepalive_enabled_) note_heard(from);
+  if (bytes.size() == 1 && bytes[0] == kKeepaliveType) return;
+  on_message(from, bytes);
+}
+
+void Node::enable_keepalive(const KeepaliveConfig& config) {
+  keepalive_ = config;
+  if (keepalive_.max_probe_interval_ms <= 0.0) {
+    keepalive_.max_probe_interval_ms = 8.0 * keepalive_.interval_ms;
+  }
+  if (keepalive_.backoff_factor < 1.0) keepalive_.backoff_factor = 1.0;
+  keepalive_enabled_ = keepalive_.interval_ms > 0.0;
+  if (!keepalive_enabled_) return;
+
+  const SimTime now = net_->engine().now();
+  liveness_.clear();
+  for (const Adjacency& adj : net_->topo().neighbors(self_)) {
+    NeighborLiveness nl;
+    nl.last_heard = now;  // grace period: a fresh node presumes liveness
+    nl.probe_interval_ms = keepalive_.interval_ms;
+    liveness_.emplace(adj.neighbor.v, nl);
+  }
+  schedule_keepalive_tick(keepalive_.interval_ms);
+}
+
+bool Node::neighbor_alive(AdId neighbor) const {
+  if (!keepalive_enabled_) return true;
+  const auto it = liveness_.find(neighbor.v);
+  return it == liveness_.end() || it->second.alive;
+}
+
+void Node::keepalive_tick() {
+  const SimTime now = net_->engine().now();
+  const SimTime hold_ms =
+      keepalive_.interval_ms * static_cast<double>(keepalive_.miss_threshold);
+  for (const Adjacency& adj : net_->topo().neighbors(self_)) {
+    NeighborLiveness& nl = liveness_[adj.neighbor.v];
+    if (nl.alive) {
+      net_->send(self_, adj.neighbor,
+                 std::vector<std::uint8_t>{kKeepaliveType});
+      if (now - nl.last_heard > hold_ms) {
+        // Hold timer expired: the neighbor crashed or the link silently
+        // died. Declare it down and fall back to backed-off probing.
+        nl.alive = false;
+        nl.probe_interval_ms = keepalive_.interval_ms;
+        nl.next_probe_at = now + nl.probe_interval_ms;
+        on_link_change(adj.neighbor, false);
+      }
+    } else if (now >= nl.next_probe_at) {
+      net_->send(self_, adj.neighbor,
+                 std::vector<std::uint8_t>{kKeepaliveType});
+      nl.probe_interval_ms = std::min(
+          nl.probe_interval_ms * keepalive_.backoff_factor,
+          static_cast<double>(keepalive_.max_probe_interval_ms));
+      nl.next_probe_at = now + nl.probe_interval_ms;
+    }
+  }
+  schedule_keepalive_tick(keepalive_.interval_ms);
+}
+
+void Node::schedule_guarded(SimTime delay_ms, std::function<void()> fn) {
+  // The timer must survive this node being crashed out from under it:
+  // capture (network, AD, generation) instead of `this`. The generation
+  // is bumped on crash, so a matching generation proves the very same
+  // node object is still attached and `fn`'s captures are valid.
+  Network* net = net_;
+  const AdId self = self_;
+  const std::uint64_t gen = net->generation(self);
+  net->engine().after(delay_ms, [net, self, gen, fn = std::move(fn)] {
+    if (net->generation(self) != gen || !net->alive(self)) return;
+    fn();
+  });
+}
+
+void Node::schedule_keepalive_tick(SimTime delay_ms) {
+  schedule_guarded(delay_ms, [this] { keepalive_tick(); });
+}
+
+void Node::note_heard(AdId from) {
+  const auto it = liveness_.find(from.v);
+  if (it == liveness_.end()) return;
+  NeighborLiveness& nl = it->second;
+  nl.last_heard = net_->engine().now();
+  if (!nl.alive) {
+    nl.alive = true;
+    nl.probe_interval_ms = keepalive_.interval_ms;
+    on_link_change(from, true);
+  }
+}
+
+// --- Network ---------------------------------------------------------
+
 Network::Network(Engine& engine, Topology& topo)
     : engine_(engine), topo_(topo) {
   nodes_.resize(topo.ad_count());
+  generations_.resize(topo.ad_count(), 0);
   counters_.resize(topo.ad_count());
 }
 
@@ -32,6 +131,50 @@ Node* Network::node(AdId ad) {
   return nodes_[ad.v].get();
 }
 
+bool Network::alive(AdId ad) const {
+  IDR_CHECK(ad.v < nodes_.size());
+  return nodes_[ad.v] != nullptr;
+}
+
+std::uint64_t Network::generation(AdId ad) const {
+  IDR_CHECK(ad.v < generations_.size());
+  return generations_[ad.v];
+}
+
+void Network::crash(AdId ad) {
+  IDR_CHECK(ad.v < nodes_.size());
+  if (!nodes_[ad.v]) return;  // already down
+  nodes_[ad.v].reset();       // all soft state gone
+  ++generations_[ad.v];       // orphan its pending timers
+  ++crashes_;
+  if (churn_observer_) churn_observer_();
+}
+
+void Network::restart(AdId ad) {
+  IDR_CHECK(ad.v < nodes_.size());
+  if (nodes_[ad.v]) return;  // already up
+  IDR_CHECK_MSG(static_cast<bool>(node_factory_),
+                "Network::restart requires set_node_factory");
+  std::unique_ptr<Node> node = node_factory_(ad);
+  IDR_CHECK_MSG(node != nullptr, "node factory returned null");
+  node->net_ = this;
+  node->self_ = ad;
+  nodes_[ad.v] = std::move(node);
+  if (keepalive_default_set_) {
+    nodes_[ad.v]->enable_keepalive(default_keepalive_);
+  }
+  nodes_[ad.v]->start();  // cold start: the protocol rebuilds from scratch
+  if (churn_observer_) churn_observer_();
+}
+
+void Network::set_keepalive(const KeepaliveConfig& config) {
+  default_keepalive_ = config;
+  keepalive_default_set_ = true;
+  for (auto& node : nodes_) {
+    if (node) node->enable_keepalive(config);
+  }
+}
+
 const Counters& Network::counters(AdId ad) const {
   IDR_CHECK(ad.v < counters_.size());
   return counters_[ad.v];
@@ -40,6 +183,12 @@ const Counters& Network::counters(AdId ad) const {
 void Network::reset_counters() {
   for (Counters& c : counters_) c = Counters{};
   total_ = Counters{};
+}
+
+void Network::note_malformed(AdId ad) {
+  IDR_CHECK(ad.v < counters_.size());
+  counters_[ad.v].malformed_dropped += 1;
+  total_.malformed_dropped += 1;
 }
 
 bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
@@ -55,19 +204,75 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
     total_.msgs_dropped += 1;
     return false;
   }
-  const double delay =
+  const double base_delay =
       topo_.link(*link).delay_ms +
       per_byte_delay_ms_ * static_cast<double>(bytes.size());
-  engine_.after(delay, [this, from, to, link = *link,
-                        payload = std::move(bytes)]() {
+
+  // Adversarial per-frame faults, decided here from one seeded stream so
+  // the whole schedule is a pure function of the seed.
+  int copies = 1;
+  if (faults_.duplicate_rate > 0.0 &&
+      fault_prng_.bernoulli(faults_.duplicate_rate)) {
+    copies = 2;
+    counters_[to.v].msgs_duplicated += 1;
+    total_.msgs_duplicated += 1;
+  }
+  for (int i = 0; i < copies; ++i) {
+    std::vector<std::uint8_t> payload =
+        (i + 1 < copies) ? bytes : std::move(bytes);
+    double delay = base_delay;
+    if (faults_.reorder_rate > 0.0 &&
+        fault_prng_.bernoulli(faults_.reorder_rate)) {
+      delay += fault_prng_.uniform_real(0.0, faults_.reorder_extra_ms);
+      counters_[to.v].msgs_reordered += 1;
+      total_.msgs_reordered += 1;
+    }
+    bool corrupted = false;
+    if (faults_.corrupt_rate > 0.0 && !payload.empty() &&
+        fault_prng_.bernoulli(faults_.corrupt_rate)) {
+      corrupted = true;
+      const std::uint64_t flips = 1 + fault_prng_.below(3);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        const std::size_t at =
+            static_cast<std::size_t>(fault_prng_.below(payload.size()));
+        payload[at] ^= static_cast<std::uint8_t>(1u << fault_prng_.below(8));
+      }
+      counters_[to.v].msgs_corrupted += 1;
+      total_.msgs_corrupted += 1;
+    }
+    deliver_frame(from, to, *link, std::move(payload), delay, corrupted);
+  }
+  return true;
+}
+
+void Network::deliver_frame(AdId from, AdId to, LinkId link,
+                            std::vector<std::uint8_t> bytes, double delay_ms,
+                            bool corrupted) {
+  engine_.after(delay_ms, [this, from, to, link, corrupted,
+                           payload = std::move(bytes)]() {
     // Link may have gone down while the message was in flight.
     if (!topo_.link(link).up) {
       counters_[from.v].msgs_dropped += 1;
       total_.msgs_dropped += 1;
       return;
     }
-    if (loss_rate_ > 0.0 && loss_prng_.bernoulli(loss_rate_)) {
+    if (faults_.loss_rate > 0.0 && fault_prng_.bernoulli(faults_.loss_rate)) {
       ++losses_;
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    if (corrupted && faults_.corrupt_deliver_fraction < 1.0 &&
+        !fault_prng_.bernoulli(faults_.corrupt_deliver_fraction)) {
+      // The modeled datagram checksum caught the mangled frame at the
+      // receiving interface; it never reaches the protocol.
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    Node* n = nodes_[to.v].get();
+    if (!n) {
+      // Receiver crashed while the frame was in flight.
       counters_[from.v].msgs_dropped += 1;
       total_.msgs_dropped += 1;
       return;
@@ -75,20 +280,27 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
     counters_[to.v].msgs_delivered += 1;
     total_.msgs_delivered += 1;
     last_delivery_ = engine_.now();
-    nodes_[to.v]->on_message(from, payload);
+    n->deliver(from, payload);
   });
-  return true;
+}
+
+void Network::set_faults(const FaultConfig& faults,
+                         std::uint64_t seed) noexcept {
+  faults_ = faults;
+  fault_prng_.reseed(seed);
 }
 
 void Network::set_loss(double rate, std::uint64_t seed) noexcept {
-  loss_rate_ = rate;
-  loss_prng_.reseed(seed);
+  faults_.loss_rate = rate;
+  fault_prng_.reseed(seed);
 }
 
 void Network::set_link_state(LinkId link, bool up) {
   const Link& l = topo_.link(link);
   if (l.up == up) return;
   topo_.set_link_up(link, up);
+  if (churn_observer_) churn_observer_();
+  if (!link_notifications_) return;
   if (nodes_[l.a.v]) nodes_[l.a.v]->on_link_change(l.b, up);
   if (nodes_[l.b.v]) nodes_[l.b.v]->on_link_change(l.a, up);
 }

@@ -3,11 +3,26 @@
 // delay. Messages sent over a down link are dropped (counted). Link state
 // changes are delivered to both endpoint nodes as local events -- exactly
 // the information a real border gateway gets from its interface.
+//
+// Beyond the happy path, the network models the adversarial conditions of
+// a real internet (paper §2.2: protocols must stay correct while the
+// inter-AD topology changes underneath them):
+//   * node crash + restart -- a crashed AD's node is destroyed (all soft
+//     state lost) and re-created cold via a per-protocol factory;
+//   * adversarial delivery faults -- per-frame probabilistic loss,
+//     corruption (random bit flips), duplication, and reordering (extra
+//     random delay), all deterministic in the seed and counted per AD;
+//   * keepalive/hold-timer neighbor liveness in the Node substrate, so a
+//     protocol detects a crashed or unreachable neighbor from silence
+//     instead of the instantaneous on_link_change oracle (which can be
+//     disabled entirely with set_link_notifications(false)).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "proto/common/counters.hpp"
@@ -18,6 +33,40 @@
 namespace idr {
 
 class Network;
+
+// Adversarial delivery faults applied per frame, decided at send time
+// from one seeded stream (so a run is reproducible from the seed alone).
+struct FaultConfig {
+  double loss_rate = 0.0;       // frame silently lost in flight
+  double corrupt_rate = 0.0;    // random bit flips applied to the frame
+  double duplicate_rate = 0.0;  // frame delivered twice
+  double reorder_rate = 0.0;    // frame delayed by extra random latency
+  double reorder_extra_ms = 5.0;  // max extra delay for a reordered frame
+  // Fraction of corrupted frames that evade the modeled datagram checksum
+  // and reach the receiving protocol's decoder; the rest are detected and
+  // discarded at the interface. 1.0 = no checksum (every mangled frame is
+  // the decoder's problem), 0.0 = a perfect checksum.
+  double corrupt_deliver_fraction = 1.0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return loss_rate > 0.0 || corrupt_rate > 0.0 || duplicate_rate > 0.0 ||
+           reorder_rate > 0.0;
+  }
+};
+
+// Keepalive/hold-timer neighbor liveness (interval 0 disables). A node
+// with keepalive enabled sends a one-byte keepalive to each neighbor
+// every interval; any frame heard from a neighbor refreshes its hold
+// timer. Silence for miss_threshold intervals declares the neighbor dead
+// (delivered to the protocol as on_link_change(neighbor, false)); dead
+// neighbors are re-probed with exponential backoff, and the first frame
+// heard from one revives it (on_link_change(neighbor, true)).
+struct KeepaliveConfig {
+  SimTime interval_ms = 0.0;  // 0 disables keepalive entirely
+  std::uint32_t miss_threshold = 3;
+  double backoff_factor = 2.0;
+  SimTime max_probe_interval_ms = 0.0;  // 0 => 8 * interval_ms
+};
 
 // A protocol entity running inside one AD (the paper's Route Server /
 // policy gateway complex collapsed to one node per AD, matching the
@@ -35,20 +84,61 @@ class Node {
   // An encoded PDU arrived from adjacent AD `from`.
   virtual void on_message(AdId from, std::span<const std::uint8_t> bytes) = 0;
 
-  // The link to adjacent AD `neighbor` changed state.
+  // The link to adjacent AD `neighbor` changed state. Fired by the
+  // network oracle (unless notifications are disabled) and by the node's
+  // own keepalive machinery when a neighbor's hold timer expires/revives.
   virtual void on_link_change(AdId neighbor, bool up) {
     (void)neighbor;
     (void)up;
   }
 
+  // Entry point the Network delivers through (non-virtual): refreshes the
+  // sender's liveness, consumes keepalive frames, dispatches the rest to
+  // on_message.
+  void deliver(AdId from, std::span<const std::uint8_t> bytes);
+
+  // Turn on keepalive/hold-timer liveness for this node (callable any
+  // time after attach). Chosen well clear of every protocol's small
+  // message-type space so a keepalive never parses as a protocol PDU.
+  static constexpr std::uint8_t kKeepaliveType = 0xF0;
+  void enable_keepalive(const KeepaliveConfig& config);
+
+  // False only when keepalive has declared this neighbor dead.
+  [[nodiscard]] bool neighbor_alive(AdId neighbor) const;
+
  protected:
   friend class Network;
+
+  // Schedule `fn` to run after delay_ms unless this node has been crashed
+  // (or crashed and replaced) by then. Protocol timers MUST use this (or
+  // re-resolve the node themselves): a plain engine callback capturing
+  // `this` dangles when the node is crashed out from under it.
+  void schedule_guarded(SimTime delay_ms, std::function<void()> fn);
+
   Network* net_ = nullptr;
   AdId self_;
+
+ private:
+  struct NeighborLiveness {
+    SimTime last_heard = 0.0;
+    bool alive = true;
+    SimTime probe_interval_ms = 0.0;  // current (backed-off) probe spacing
+    SimTime next_probe_at = 0.0;
+  };
+
+  void keepalive_tick();
+  void schedule_keepalive_tick(SimTime delay_ms);
+  void note_heard(AdId from);
+
+  KeepaliveConfig keepalive_;
+  bool keepalive_enabled_ = false;
+  std::unordered_map<std::uint32_t, NeighborLiveness> liveness_;
 };
 
 class Network {
  public:
+  using NodeFactory = std::function<std::unique_ptr<Node>(AdId)>;
+
   Network(Engine& engine, Topology& topo);
 
   // Takes ownership; one node per AD, attached before start_all().
@@ -60,8 +150,37 @@ class Network {
   // link's delay plus per-message transmission time.
   bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes);
 
-  // Change a link's state and notify both endpoint nodes immediately.
+  // Change a link's state and notify both endpoint nodes immediately
+  // (unless notifications are disabled).
   void set_link_state(LinkId link, bool up);
+
+  // Disable/enable the instantaneous link-state oracle. With
+  // notifications off, protocols only learn about failures from their own
+  // keepalive hold timers (or from data-plane errors).
+  void set_link_notifications(bool enabled) noexcept {
+    link_notifications_ = enabled;
+  }
+  [[nodiscard]] bool link_notifications() const noexcept {
+    return link_notifications_;
+  }
+
+  // --- node crash / restart ------------------------------------------
+  // Needed before restart(): how to build a cold node for an AD.
+  void set_node_factory(NodeFactory factory) {
+    node_factory_ = std::move(factory);
+  }
+  // Destroy the AD's node: all soft state is lost, in-flight frames to it
+  // are dropped (counted), its pending timers become no-ops.
+  void crash(AdId ad);
+  // Re-create the AD's node cold via the factory and start() it. If a
+  // default keepalive config was installed, the new node inherits it.
+  void restart(AdId ad);
+  [[nodiscard]] bool alive(AdId ad) const;
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+
+  // Install keepalive on every attached node, and on every node restarted
+  // from now on.
+  void set_keepalive(const KeepaliveConfig& config);
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
   [[nodiscard]] Topology& topo() noexcept { return topo_; }
@@ -77,30 +196,62 @@ class Network {
   }
   void reset_counters();
 
+  // A protocol parsed and rejected a malformed PDU instead of aborting.
+  void note_malformed(AdId ad);
+
   // Bytes per kilobit-millisecond: serialization delay model. Messages
   // are delayed by link delay + size * per_byte_delay_ms.
   void set_per_byte_delay(double ms_per_byte) noexcept {
     per_byte_delay_ms_ = ms_per_byte;
   }
 
-  // Random in-flight loss: each delivery independently dropped with this
-  // probability (deterministic in the seed). Models the unreliable
+  // Full adversarial fault model (loss + corruption + duplication +
+  // reordering), deterministic in the seed.
+  void set_faults(const FaultConfig& faults, std::uint64_t seed) noexcept;
+  [[nodiscard]] const FaultConfig& faults() const noexcept { return faults_; }
+
+  // Random in-flight loss only: each delivery independently dropped with
+  // this probability (deterministic in the seed). Models the unreliable
   // datagram service the paper assumes ("sequencing and reliability are
   // left to the transport layer").
   void set_loss(double rate, std::uint64_t seed) noexcept;
   [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
 
+  // Generation counter for an AD's node slot; bumped on crash so stale
+  // timers scheduled by a destroyed node can detect they are orphaned.
+  [[nodiscard]] std::uint64_t generation(AdId ad) const;
+
+  // Invoked on every topology-churn event (link up/down transition, node
+  // crash, node restart). The invariant monitor hooks this to time
+  // reconvergence and separate transient from persistent violations.
+  void set_churn_observer(std::function<void()> fn) {
+    churn_observer_ = std::move(fn);
+  }
+
  private:
+  friend class Node;
+
+  void deliver_frame(AdId from, AdId to, LinkId link,
+                     std::vector<std::uint8_t> bytes, double delay_ms,
+                     bool corrupted);
+
   Engine& engine_;
   Topology& topo_;
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by AdId
+  std::vector<std::uint64_t> generations_;    // indexed by AdId
   std::vector<Counters> counters_;            // indexed by AdId
   Counters total_;
   SimTime last_delivery_ = 0.0;
   double per_byte_delay_ms_ = 0.0;
-  double loss_rate_ = 0.0;
-  Prng loss_prng_{0};
+  FaultConfig faults_;
+  Prng fault_prng_{0};
   std::uint64_t losses_ = 0;
+  std::uint64_t crashes_ = 0;
+  bool link_notifications_ = true;
+  NodeFactory node_factory_;
+  KeepaliveConfig default_keepalive_;
+  bool keepalive_default_set_ = false;
+  std::function<void()> churn_observer_;
 };
 
 }  // namespace idr

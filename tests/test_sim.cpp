@@ -55,6 +55,28 @@ TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
   EXPECT_EQ(e.pending(), 1u);
 }
 
+#ifdef NDEBUG
+TEST(Engine, SchedulingIntoThePastClampsToNow) {
+  Engine e;
+  double fired_at = -1.0;
+  e.at(10.0, [&] { e.at(5.0, [&] { fired_at = e.now(); }); });
+  e.run();
+  // The stale timestamp is clamped: the event runs "now", never rewinds
+  // the clock.
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+#else
+TEST(EngineDeathTest, SchedulingIntoThePastAssertsInDebug) {
+  EXPECT_DEATH(
+      {
+        Engine e;
+        e.at(10.0, [&] { e.at(5.0, [] {}); });
+        e.run();
+      },
+      "past");
+}
+#endif
+
 TEST(Engine, EventsCanScheduleEvents) {
   Engine e;
   int depth = 0;
@@ -200,9 +222,107 @@ TEST(FailureInjector, RandomFailuresStayWithinHorizon) {
   injector.random_failures(prng, 500.0, 100.0, 10'000.0);
   engine.run();
   EXPECT_GT(injector.failures_injected(), 0u);
-  // After the horizon every link scheduled for repair has been repaired;
-  // some links may legitimately end down (repair fell past the horizon).
-  EXPECT_GE(engine.now(), 0.0);
+  // Every failure's repair is scheduled even when it lands past the
+  // horizon, so after a full drain no link is left down forever.
+  for (const Link& l : fig.topo.links()) {
+    EXPECT_TRUE(l.up) << "link " << l.id.v << " was never repaired";
+  }
+}
+
+TEST(FailureInjector, ScriptedCrashAndRestart) {
+  Topology topo;
+  const AdId a = topo.add_ad(AdClass::kCampus, AdRole::kStub);
+  const AdId b = topo.add_ad(AdClass::kCampus, AdRole::kStub);
+  topo.add_link(a, b, LinkClass::kLateral);
+  Engine engine;
+  Network net(engine, topo);
+  net.set_node_factory([](AdId) { return std::make_unique<EchoNode>(); });
+  net.attach(a, std::make_unique<EchoNode>());
+  net.attach(b, std::make_unique<EchoNode>());
+  net.start_all();
+  FailureInjector injector(net);
+  injector.crash_node_at(b, 10.0, 5.0);
+  engine.run_until(12.0);
+  EXPECT_FALSE(net.alive(b));
+  engine.run_until(20.0);
+  EXPECT_TRUE(net.alive(b));
+  EXPECT_EQ(injector.crashes_injected(), 1u);
+  EXPECT_EQ(net.crashes(), 1u);
+}
+
+TEST_F(NetworkTest, InFlightMessageDroppedWhenReceiverCrashes) {
+  net_->set_node_factory([](AdId) { return std::make_unique<EchoNode>(); });
+  EXPECT_TRUE(net_->send(a_, b_, {1}));
+  engine_.at(1.0, [&] { net_->crash(b_); });
+  engine_.run();
+  EXPECT_EQ(net_->total().msgs_dropped, 1u);
+  EXPECT_EQ(net_->total().msgs_delivered, 0u);
+}
+
+TEST_F(NetworkTest, DuplicationDeliversTwiceAndIsCounted) {
+  FaultConfig faults;
+  faults.duplicate_rate = 1.0;
+  net_->set_faults(faults, 5);
+  net_->send(a_, b_, {1, 2});
+  engine_.run();
+  EXPECT_EQ(nodes_[b_.v]->received.size(), 2u);
+  EXPECT_EQ(net_->counters(b_).msgs_duplicated, 1u);
+}
+
+TEST_F(NetworkTest, CorruptionFlipsBitsAndChecksumDropsWhenPerfect) {
+  FaultConfig faults;
+  faults.corrupt_rate = 1.0;
+  faults.corrupt_deliver_fraction = 1.0;  // no checksum: mangled delivery
+  net_->set_faults(faults, 5);
+  net_->send(a_, b_, {0, 0, 0, 0});
+  engine_.run();
+  ASSERT_EQ(nodes_[b_.v]->received.size(), 1u);
+  EXPECT_NE(nodes_[b_.v]->received[0].second,
+            (std::vector<std::uint8_t>{0, 0, 0, 0}));
+  EXPECT_EQ(net_->counters(b_).msgs_corrupted, 1u);
+
+  faults.corrupt_deliver_fraction = 0.0;  // perfect checksum: dropped
+  net_->set_faults(faults, 5);
+  net_->send(a_, b_, {0, 0, 0, 0});
+  engine_.run();
+  EXPECT_EQ(nodes_[b_.v]->received.size(), 1u);
+  EXPECT_EQ(net_->counters(b_).msgs_corrupted, 2u);
+}
+
+TEST_F(NetworkTest, KeepaliveDeclaresSilentNeighborDeadAndRevivesIt) {
+  net_->set_node_factory([](AdId) { return std::make_unique<EchoNode>(); });
+  net_->set_link_notifications(false);
+  net_->set_keepalive(KeepaliveConfig{.interval_ms = 10.0,
+                                      .miss_threshold = 3});
+  net_->crash(b_);
+  EchoNode* a_node = nodes_[a_.v];
+  engine_.run_until(100.0);
+  // a heard nothing from b for > 3 intervals: declared dead.
+  ASSERT_FALSE(a_node->link_events.empty());
+  EXPECT_EQ(a_node->link_events.back(), std::make_pair(b_, false));
+  EXPECT_FALSE(net_->node(a_)->neighbor_alive(b_));
+
+  net_->restart(b_);
+  engine_.run_until(300.0);
+  // The restarted node's keepalives (and a's backed-off probes) revive
+  // the adjacency on both sides.
+  EXPECT_EQ(a_node->link_events.back(), std::make_pair(b_, true));
+  EXPECT_TRUE(net_->node(a_)->neighbor_alive(b_));
+  EXPECT_TRUE(net_->node(b_)->neighbor_alive(a_));
+}
+
+TEST_F(NetworkTest, KeepaliveDetectsSilentLinkFailureWithoutOracle) {
+  net_->set_link_notifications(false);
+  net_->set_keepalive(KeepaliveConfig{.interval_ms = 10.0,
+                                      .miss_threshold = 3});
+  net_->set_link_state(ab_, false);  // no notification reaches the nodes
+  EXPECT_TRUE(nodes_[a_.v]->link_events.empty());
+  engine_.run_until(100.0);
+  ASSERT_FALSE(nodes_[a_.v]->link_events.empty());
+  EXPECT_EQ(nodes_[a_.v]->link_events.back(), std::make_pair(b_, false));
+  net_->set_link_state(ab_, true);
+  engine_.run_until(400.0);
+  EXPECT_EQ(nodes_[a_.v]->link_events.back(), std::make_pair(b_, true));
 }
 
 }  // namespace
