@@ -32,15 +32,24 @@ std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
 // Hop-by-hop probe walk shared by the FIB-driven design points. `next_fn`
 // asks the node currently holding the packet for its successor; a crashed
 // node on the way (or no forwarding choice) is a black hole, a revisited
-// AD is a loop.
+// AD is a loop. A transit AD that is quarantined or actively dropping
+// traffic toward dst (Byzantine black hole / hijack) swallows the packet:
+// the walk records the control plane's choice, the drop is the data
+// plane's fate.
 template <typename NextFn>
-Probe walk_probe(const Topology& topo, AdId src, AdId dst, NextFn&& next_fn) {
+Probe walk_probe(const Network& net, const Topology& topo, AdId src,
+                 AdId dst, NextFn&& next_fn) {
   Probe probe;
   probe.path.push_back(src);
   std::vector<bool> seen(topo.ad_count(), false);
   seen[src.v] = true;
   AdId cur = src;
   while (cur != dst) {
+    if (cur != src &&
+        (net.is_quarantined(cur) || net.drops_traffic(cur, dst))) {
+      probe.outcome = ProbeOutcome::kBlackHole;
+      return probe;
+    }
     const std::optional<AdId> next = next_fn(cur, probe.path);
     if (!next) {
       probe.outcome = ProbeOutcome::kBlackHole;
@@ -58,11 +67,32 @@ Probe walk_probe(const Topology& topo, AdId src, AdId dst, NextFn&& next_fn) {
   return probe;
 }
 
+// A node the ground-truth oracles must route around. Two notions:
+//
+//   * quarantine_only = false (the invariant monitor's view): also skip
+//     ADs actively swallowing traffic toward this destination -- no
+//     protocol can be blamed for failing to route through a Byzantine
+//     black hole it has no way to detect;
+//   * quarantine_only = true (the auditor's view): skip only quarantined
+//     ADs. Blast radius must count pairs an active dropper breaks, so
+//     "honest reachability" pretends the misbehaving AD would have
+//     forwarded -- until containment administratively removes it.
+//
+// Misbehaving-but-forwarding ADs (leak, tamper) are never excluded:
+// ground truth holds them to their registered policy, which is exactly
+// what the defended protocols converge to.
+bool unusable_for(const Network& net, AdId ad, AdId dst,
+                  bool quarantine_only) {
+  if (net.is_quarantined(ad)) return true;
+  return !quarantine_only && net.drops_traffic(ad, dst);
+}
+
 // Ground truth for ECMA: a destination is reachable only over an up*down*
 // shaped walk (paper §5.1.1) through ADs willing to transit, between live
 // nodes over live links. BFS over (AD, gone-down) states.
 bool ecma_reachable(const Network& net, const Topology& topo,
-                    const PartialOrder& order, AdId src, AdId dst) {
+                    const PartialOrder& order, AdId src, AdId dst,
+                    bool quarantine_only = false) {
   const std::size_t n = topo.ad_count();
   std::vector<bool> seen(n * 2, false);
   std::queue<std::pair<AdId, bool>> queue;
@@ -83,6 +113,7 @@ bool ecma_reachable(const Network& net, const Topology& topo,
     }
     for (const Adjacency& adj : topo.live_neighbors(cur)) {
       if (!net.alive(adj.neighbor)) continue;
+      if (unusable_for(net, adj.neighbor, dst, quarantine_only)) continue;
       const bool hop_is_up = order.is_up(cur, adj.neighbor);
       if (gone_down && hop_is_up) continue;  // up after down: illegal shape
       const bool next_gone_down = gone_down || !hop_is_up;
@@ -100,7 +131,8 @@ bool ecma_reachable(const Network& net, const Topology& topo,
 // synthesis oracle finds one over the live topology and real policy
 // database, avoiding crashed ADs.
 bool policy_reachable(const Network& net, const Topology& topo,
-                      const PolicySet& policies, AdId src, AdId dst) {
+                      const PolicySet& policies, AdId src, AdId dst,
+                      bool quarantine_only = false) {
   FlowSpec flow;
   flow.src = src;
   flow.dst = dst;
@@ -108,7 +140,9 @@ bool policy_reachable(const Network& net, const Topology& topo,
   options.first_found = true;
   options.expansion_budget = 200'000;
   for (const Ad& ad : topo.ads()) {
-    if (!net.alive(ad.id)) options.avoid.push_back(ad.id);
+    if (!net.alive(ad.id) || unusable_for(net, ad.id, dst, quarantine_only)) {
+      options.avoid.push_back(ad.id);
+    }
   }
   const GroundTruthView view(topo, policies);
   return synthesize_route(view, flow, options).found();
@@ -126,6 +160,7 @@ std::uint64_t counter_fingerprint(const Network& net, const Topology& topo) {
     h = fnv_mix(h, c.msgs_duplicated);
     h = fnv_mix(h, c.msgs_reordered);
     h = fnv_mix(h, c.malformed_dropped);
+    h = fnv_mix(h, c.defense_rejections);
   }
   return h;
 }
@@ -141,10 +176,66 @@ const std::vector<std::string>& chaos_design_points() {
 ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   Figure1 fig = build_figure1();
   Topology& topo = fig.topo;
-  const PolicySet policies = make_open_policies(topo);
+  const PolicySet policies = params.policy_mode == PolicyMode::kProviderCustomer
+                                 ? make_provider_customer_policies(topo)
+                                 : make_open_policies(topo);
 
   Engine engine;
   Network net(engine, topo);
+
+  // --- Byzantine schedule (independent seeded stream, so the fault /
+  // churn schedules of non-Byzantine runs with the same seed are
+  // untouched) ---------------------------------------------------------
+  const bool defended =
+      params.byzantine.defended && params.byzantine.count > 0;
+  std::vector<std::uint64_t> lsa_keys;
+  std::vector<ByzantineSpec> byz_schedule;
+  if (params.byzantine.count > 0) {
+    std::uint64_t byz_state = params.seed ^ 0xb42a47f00dULL;
+    Prng byz_prng(splitmix64(byz_state));
+    std::vector<AdId> candidates;
+    for (const Ad& ad : topo.ads()) {
+      if (topo.can_transit(ad.id)) candidates.push_back(ad.id);
+    }
+    byz_prng.shuffle(candidates);
+    const std::size_t count =
+        std::min(params.byzantine.count, candidates.size());
+    static constexpr Misbehavior kTaxonomy[] = {
+        Misbehavior::kRouteLeak, Misbehavior::kFalseOrigin,
+        Misbehavior::kBlackHole, Misbehavior::kTamper};
+    std::vector<bool> is_byz(topo.ad_count(), false);
+    for (std::size_t i = 0; i < count; ++i) is_byz[candidates[i].v] = true;
+    // Hijack victims: honest stub/multi-homed ADs (the paper's "edge"
+    // ADs -- the classic victims of a false-origin announcement).
+    std::vector<AdId> honest_stubs;
+    for (const Ad& ad : topo.ads()) {
+      if (is_stub_role(topo, ad.id) && !is_byz[ad.id.v]) {
+        honest_stubs.push_back(ad.id);
+      }
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      ByzantineSpec spec;
+      spec.ad = candidates[i];
+      spec.kind =
+          params.byzantine.kinds.empty()
+              ? kTaxonomy[i % 4]
+              : params.byzantine.kinds[i % params.byzantine.kinds.size()];
+      spec.start_ms = params.byzantine.onset_ms;
+      if (spec.kind == Misbehavior::kFalseOrigin && !honest_stubs.empty()) {
+        spec.victim = byz_prng.pick(honest_stubs);
+      }
+      byz_schedule.push_back(spec);
+    }
+  }
+  if (defended) {
+    // Per-AD LSA authentication keys (modeled shared-secret registry).
+    std::uint64_t key_state = params.seed ^ 0x6b657973ULL;
+    lsa_keys.resize(topo.ad_count());
+    for (auto& key : lsa_keys) {
+      key = splitmix64(key_state);
+      if (key == 0) key = 1;
+    }
+  }
 
   // --- per-design-point node factory (also used for cold restarts) ----
   OrderResult order;
@@ -152,9 +243,11 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   if (arch == "ecma") {
     order = compute_partial_order(topo, {});
     IDR_CHECK_MSG(order.ok, "structural ordering conflict on Figure 1");
-    factory = [&topo, &order, &params](AdId ad) -> std::unique_ptr<Node> {
+    factory = [&topo, &order, &params,
+               defended](AdId ad) -> std::unique_ptr<Node> {
       EcmaConfig config;
       config.stub = is_stub_role(topo, ad);
+      config.receiver_order_check = defended;
       if (topo.ad(ad).role == AdRole::kHybrid) {
         for (const Adjacency& adj : topo.neighbors(ad)) {
           config.export_dsts.insert(adj.neighbor.v);
@@ -165,21 +258,30 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
       return node;
     };
   } else if (arch == "idrp") {
-    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
-      auto node = std::make_unique<IdrpNode>(&policies);
+    factory = [&policies, &params, defended](AdId) -> std::unique_ptr<Node> {
+      IdrpConfig config;
+      config.defend = defended;
+      auto node = std::make_unique<IdrpNode>(&policies, config);
       node->set_periodic_refresh(params.periodic_refresh_ms);
       return node;
     };
   } else if (arch == "ls-hbh") {
-    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
-      auto node = std::make_unique<LshhNode>(&policies);
+    factory = [&policies, &params, &lsa_keys,
+               defended](AdId) -> std::unique_ptr<Node> {
+      LshhConfig config;
+      config.lsa_keys = defended ? &lsa_keys : nullptr;
+      config.registry = defended ? &policies : nullptr;
+      auto node = std::make_unique<LshhNode>(&policies, config);
       node->set_periodic_refresh(params.periodic_refresh_ms);
       return node;
     };
   } else if (arch == "orwg") {
-    factory = [&policies, &params](AdId) -> std::unique_ptr<Node> {
+    factory = [&policies, &params, &lsa_keys,
+               defended](AdId) -> std::unique_ptr<Node> {
       OrwgConfig config;
       config.periodic_refresh_ms = params.periodic_refresh_ms;
+      config.lsa_keys = defended ? &lsa_keys : nullptr;
+      config.route_server.registry = defended ? &policies : nullptr;
       return std::make_unique<OrwgNode>(&policies, config);
     };
   } else {
@@ -192,6 +294,16 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   std::uint64_t seed_state = params.seed;
   net.set_faults(params.faults, splitmix64(seed_state));
   if (params.keepalive.interval_ms > 0.0) net.set_keepalive(params.keepalive);
+  for (const ByzantineSpec& spec : byz_schedule) {
+    net.set_misbehavior(spec);
+    if (defended) {
+      // Containment: the defenses' rejection counters make misbehavior
+      // visible; detection_delay_ms later the misbehaving AD is
+      // administratively quarantined (modeled operator response).
+      engine.at(spec.start_ms + params.byzantine.detection_delay_ms,
+                [&net, ad = spec.ad] { net.quarantine(ad); });
+    }
+  }
   net.start_all();
 
   // --- probe + ground truth -------------------------------------------
@@ -200,7 +312,7 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
     probe = [&net, &topo](AdId src, AdId dst) {
       bool gone_down = false;
       return walk_probe(
-          topo, src, dst,
+          net, topo, src, dst,
           [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
             auto* node = static_cast<EcmaNode*>(net.node(cur));
             if (!node) return std::nullopt;  // walked into a crashed AD
@@ -216,7 +328,7 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
       flow.src = src;
       flow.dst = dst;
       return walk_probe(
-          topo, src, dst,
+          net, topo, src, dst,
           [&](AdId cur,
               const std::vector<AdId>& path) -> std::optional<AdId> {
             auto* node = static_cast<IdrpNode*>(net.node(cur));
@@ -232,7 +344,7 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
       flow.src = src;
       flow.dst = dst;
       return walk_probe(
-          topo, src, dst,
+          net, topo, src, dst,
           [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
             auto* node = static_cast<LshhNode*>(net.node(cur));
             if (!node) return std::nullopt;
@@ -252,24 +364,93 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
         p.path.push_back(src);
         return p;  // kBlackHole
       }
-      p.outcome = ProbeOutcome::kDelivered;
       p.path = std::move(*path);
+      // The setup would succeed, but a quarantined or traffic-dropping
+      // AD on the source route swallows the data packets.
+      for (std::size_t i = 1; i + 1 < p.path.size(); ++i) {
+        if (net.is_quarantined(p.path[i]) ||
+            net.drops_traffic(p.path[i], dst)) {
+          return p;  // kBlackHole
+        }
+      }
+      p.outcome = ProbeOutcome::kDelivered;
       return p;
     };
   }
 
-  InvariantMonitor monitor(net, params.invariants, std::move(probe));
+  InvariantMonitor::ReachableFn reachable;
   if (arch == "ecma") {
-    monitor.set_reachable_fn([&net, &topo, &order](AdId src, AdId dst) {
+    reachable = [&net, &topo, &order](AdId src, AdId dst) {
       return ecma_reachable(net, topo, order.order, src, dst);
-    });
+    };
   } else {
-    monitor.set_reachable_fn([&net, &topo, &policies](AdId src, AdId dst) {
+    reachable = [&net, &topo, &policies](AdId src, AdId dst) {
       return policy_reachable(net, topo, policies, src, dst);
-    });
+    };
   }
+
+  InvariantMonitor monitor(net, params.invariants, probe);
+  monitor.set_reachable_fn(reachable);
   net.set_churn_observer([&monitor] { monitor.note_fault(); });
   monitor.start(params.horizon_ms);
+
+  // --- policy-compliance auditor (Byzantine runs only) ----------------
+  std::unique_ptr<PolicyComplianceAuditor> auditor;
+  if (!byz_schedule.empty()) {
+    PolicyComplianceAuditor::ComplianceFn compliant;
+    if (arch == "ecma") {
+      // ECMA's policy is structural: the delivered walk must be up*down*
+      // shaped and every intermediate must be transit-willing (mirrors
+      // ecma_reachable's shaping).
+      compliant = [&topo, &order](AdId, AdId dst,
+                                  const std::vector<AdId>& path) {
+        bool gone_down = false;
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          const AdId cur = path[i];
+          if (i > 0) {
+            if (is_stub_role(topo, cur)) return false;
+            if (topo.ad(cur).role == AdRole::kHybrid &&
+                !topo.find_link(cur, dst)) {
+              return false;
+            }
+          }
+          const bool up = order.order.is_up(cur, path[i + 1]);
+          if (gone_down && up) return false;
+          if (!up) gone_down = true;
+        }
+        return true;
+      };
+    } else {
+      compliant = [&topo, &policies](AdId src, AdId dst,
+                                     const std::vector<AdId>& path) {
+        FlowSpec flow;
+        flow.src = src;
+        flow.dst = dst;
+        return policies.path_is_legal(topo, flow, path);
+      };
+    }
+    // Pollution is measured against what SHOULD be reachable: the
+    // topology with every AD behaving (droppers included), minus
+    // anything containment already quarantined.
+    InvariantMonitor::ReachableFn honest_reachable;
+    if (arch == "ecma") {
+      honest_reachable = [&net, &topo, &order](AdId src, AdId dst) {
+        return ecma_reachable(net, topo, order.order, src, dst,
+                              /*quarantine_only=*/true);
+      };
+    } else {
+      honest_reachable = [&net, &topo, &policies](AdId src, AdId dst) {
+        return policy_reachable(net, topo, policies, src, dst,
+                                /*quarantine_only=*/true);
+      };
+    }
+    AuditConfig audit_config = params.audit;
+    audit_config.onset_ms = params.byzantine.onset_ms;
+    auditor = std::make_unique<PolicyComplianceAuditor>(
+        net, audit_config, probe, std::move(honest_reachable),
+        std::move(compliant));
+    auditor->start(params.horizon_ms);
+  }
 
   // --- seeded churn schedule ------------------------------------------
   FailureInjector injector(net);
@@ -293,6 +474,10 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   result.link_failures = injector.failures_injected();
   result.node_crashes = injector.crashes_injected();
   result.counter_fingerprint = counter_fingerprint(net, topo);
+  result.byzantine = byz_schedule;
+  result.defended = defended;
+  if (auditor) result.audit = auditor->stats();
+  result.defense_rejections = result.totals.defense_rejections;
   return result;
 }
 

@@ -12,6 +12,14 @@
 // fault schedule, same message trace, byte-identical counters. The soak
 // tool runs every design point twice per seed and fails loudly if the
 // counter fingerprints differ.
+//
+// Orthogonal to the delivery faults, a Byzantine schedule can mark whole
+// ADs as misbehaving (false-origin hijack, route leak, path-attribute
+// tampering, forwarding black hole). With defenses off the run measures
+// blast radius; with defenses on every design point's receiver-side
+// defense is armed, detected traffic-droppers are quarantined after a
+// detection delay, and a PolicyComplianceAuditor checks that no honest
+// (src, dst) pair is left persistently polluted.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +32,38 @@
 
 namespace idr {
 
+// Transit-policy shape for the run. Byzantine route-leak experiments need
+// kProviderCustomer: with fully open policies there is no transit promise
+// a leaker could break.
+enum class PolicyMode : std::uint8_t {
+  kOpen = 0,
+  kProviderCustomer = 1,
+};
+
+struct ByzantineParams {
+  // How many ADs misbehave (drawn from the transit-capable ADs on an
+  // independent seeded stream; 0 disables the Byzantine layer).
+  std::size_t count = 0;
+  // Arm the per-design-point defenses (ECMA receiver-side partial-order
+  // enforcement, IDRP neighbor-consistency clamping, LS/LSHH origin
+  // authentication, ORWG registry-validated synthesis) and quarantine
+  // misbehaving ADs detection_delay_ms after onset.
+  bool defended = false;
+  SimTime onset_ms = 1'000.0;
+  SimTime detection_delay_ms = 400.0;
+  // Misbehavior kinds assigned round-robin to the chosen ADs; empty =
+  // the full taxonomy {leak, false-origin, black hole, tamper}.
+  std::vector<Misbehavior> kinds;
+};
+
 struct ChaosParams {
   std::uint64_t seed = 1;
   SimTime horizon_ms = 10'000.0;
+
+  PolicyMode policy_mode = PolicyMode::kOpen;
+  ByzantineParams byzantine;
+  // Auditor knobs (onset_ms is overridden with byzantine.onset_ms).
+  AuditConfig audit;
 
   // Churn is injected in [0, horizon * churn_fraction]; the rest of the
   // run is a quiet tail in which every violation counts as persistent
@@ -83,6 +120,12 @@ struct ChaosResult {
   std::size_t link_failures = 0;     // link-down events injected
   std::size_t node_crashes = 0;      // crash events injected
   std::uint64_t counter_fingerprint = 0;  // FNV-1a over per-AD counters
+
+  // Byzantine layer (empty / zero when byzantine.count == 0).
+  std::vector<ByzantineSpec> byzantine;
+  bool defended = false;
+  AuditStats audit;
+  std::uint64_t defense_rejections = 0;
 };
 
 // The four design points the chaos soak exercises.

@@ -19,6 +19,10 @@ struct Counters {
   std::uint64_t msgs_duplicated = 0;
   std::uint64_t msgs_reordered = 0;
   std::uint64_t malformed_dropped = 0;
+  // Control-plane advertisements a protocol's Byzantine defense rejected
+  // (or clamped away): forged origins, leaked routes, infeasible shapes,
+  // bad auth tags. Zero unless a defense toggle is armed.
+  std::uint64_t defense_rejections = 0;
 
   Counters& operator+=(const Counters& other) noexcept {
     msgs_sent += other.msgs_sent;
@@ -29,6 +33,7 @@ struct Counters {
     msgs_duplicated += other.msgs_duplicated;
     msgs_reordered += other.msgs_reordered;
     malformed_dropped += other.malformed_dropped;
+    defense_rejections += other.defense_rejections;
     return *this;
   }
 };

@@ -17,6 +17,7 @@ class ProtoNode : public Node {
  protected:
   [[nodiscard]] AdId self() const noexcept { return self_; }
   [[nodiscard]] Network& net() noexcept { return *net_; }
+  [[nodiscard]] const Network& net() const noexcept { return *net_; }
   [[nodiscard]] const Topology& topo() const noexcept { return net_->topo(); }
 
   // Neighbors this node considers usable: the link is up AND (when

@@ -41,6 +41,14 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
   // traverse (paper §5.1.1: "routes described in distance vector updates
   // are marked as to the types of links traversed"); the receiver applies
   // the up/down usability rule for its own side of the link.
+  //
+  // A Byzantine/misconfigured AD lies here, at the advertisement point:
+  //   * route leak  -- every route is marked down-only (hiding traversed
+  //     up links breaks the receiver's up*down* usability filter) and the
+  //     stub/export restrictions are ignored;
+  //   * tamper      -- all metrics are zeroed, pulling traffic in;
+  //   * false origin -- metric-0 reachability for the victim is appended.
+  const Misbehavior mis = net().active_misbehavior(self());
   wire::Writer w;
   w.u8(kMsgUpdate);
   wire::Writer body;
@@ -48,18 +56,81 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
   for (const auto& [k, entry] : rib_) {
     const AdId dst{static_cast<std::uint32_t>(k >> 8)};
     const auto qos = static_cast<std::uint8_t>(k & 0xff);
-    if (!advertisable(dst)) continue;
+    if (mis != Misbehavior::kRouteLeak && !advertisable(dst)) continue;
     for (const Route* r : {&entry.best, &entry.best_down}) {
+      const bool valid = r->valid(config_.infinity);
+      std::uint8_t down_only = r->down_only ? 1 : 0;
+      std::uint16_t metric = valid ? r->metric : config_.infinity;
+      if (mis == Misbehavior::kRouteLeak) down_only = 1;
+      if (mis == Misbehavior::kTamper && valid) metric = 0;
       body.u32(dst.v);
       body.u8(qos);
-      body.u8(r->down_only ? 1 : 0);
-      body.u16(r->valid(config_.infinity) ? r->metric : config_.infinity);
+      body.u8(down_only);
+      body.u16(metric);
       ++count;
+    }
+  }
+  if (mis == Misbehavior::kFalseOrigin) {
+    const AdId victim = net().misbehavior_victim(self());
+    if (victim.valid() && victim != self()) {
+      for (std::uint8_t q = 0; q < kQosCount; ++q) {
+        if ((config_.qos_mask & (1u << q)) == 0) continue;
+        for (const std::uint8_t down_only : {0, 1}) {
+          body.u32(victim.v);
+          body.u8(q);
+          body.u8(down_only);
+          body.u16(0);
+          ++count;
+        }
+      }
     }
   }
   w.u16(count);
   w.raw(body.bytes());
   return std::move(w).take();
+}
+
+const EcmaNode::SenderBound& EcmaNode::sender_bound(AdId from) {
+  const auto it = sender_bounds_.find(from.v);
+  if (it != sender_bounds_.end()) return it->second;
+  SenderBound bound;
+  const std::size_t n = topo().ad_count();
+  // Plain BFS twice: once over every static link, once over down hops
+  // only (a down hop from a's side is any a->b with is_up(a, b) false).
+  for (const bool down_only : {false, true}) {
+    std::vector<std::uint16_t>& dist = down_only ? bound.down_dist : bound.dist;
+    dist.assign(n, 0xffff);
+    dist[from.v] = 0;
+    std::vector<AdId> frontier{from};
+    while (!frontier.empty()) {
+      std::vector<AdId> next_frontier;
+      for (const AdId cur : frontier) {
+        for (const Adjacency& adj : topo().neighbors(cur)) {
+          if (down_only && order_->is_up(cur, adj.neighbor)) continue;
+          if (dist[adj.neighbor.v] != 0xffff) continue;
+          dist[adj.neighbor.v] =
+              static_cast<std::uint16_t>(dist[cur.v] + 1);
+          next_frontier.push_back(adj.neighbor);
+        }
+      }
+      frontier = std::move(next_frontier);
+    }
+  }
+  return sender_bounds_.emplace(from.v, std::move(bound)).first->second;
+}
+
+bool EcmaNode::defense_accepts(const SenderBound& bound, AdId from, AdId dst,
+                               bool adv_down_only, std::uint16_t adv) const {
+  if (dst != from) {
+    // Role legality: a stub/multihomed AD never advertises transit
+    // routes; a hybrid only for its own neighbors.
+    const AdRole role = topo().ad(from).role;
+    if (role == AdRole::kStub || role == AdRole::kMultiHomed) return false;
+    if (role == AdRole::kHybrid && !topo().find_link(from, dst)) return false;
+  }
+  if (adv < bound.dist[dst.v]) return false;
+  if (adv_down_only && adv < bound.down_dist[dst.v]) return false;
+  return true;
 }
 
 void EcmaNode::broadcast() {
@@ -111,6 +182,8 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     std::uint16_t their_best = 0xffff;
   };
   std::map<std::uint64_t, Candidates> per_key;
+  const SenderBound* bound =
+      config_.receiver_order_check ? &sender_bound(from) : nullptr;
   for (const RawEntry& entry : entries) {
     const AdId dst = entry.dst;
     const std::uint8_t qos_raw = entry.qos_raw;
@@ -118,8 +191,16 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     const std::uint16_t adv = entry.adv;
     if (dst == self()) continue;
     if (qos_raw >= kQosCount) continue;
+    if (dst.v >= topo().ad_count()) continue;
     const auto qos = static_cast<Qos>(qos_raw);
     if ((config_.qos_mask & qos_bit(qos)) == 0) continue;
+    if (bound && adv < config_.infinity &&
+        !defense_accepts(*bound, from, dst, adv_down_only, adv)) {
+      // Provably illegal claim: drop the entry entirely (it must not
+      // even feed the help heuristic's view of the neighbor).
+      net().note_defense_rejection(self());
+      continue;
+    }
 
     Candidates& cand = per_key[key(dst, qos)];
     cand.their_best = std::min(cand.their_best, adv);

@@ -36,6 +36,15 @@ struct EcmaConfig {
   std::unordered_set<std::uint32_t> export_dsts;
   // Stub behaviour: advertise only own reachability (no transit routes).
   bool stub = false;
+  // Receiver-side Byzantine defense (the sender-side up/down rule is what
+  // a misconfigured or lying AD violates): every incoming advertisement is
+  // checked against static-topology lower bounds -- a claimed metric below
+  // the sender's static distance to dst is impossible, a down-only claim
+  // below the sender's static down-links-only distance is a leaked
+  // down-then-up route, and a transit advertisement from a stub/multihomed
+  // role (or a hybrid for a non-neighbor dst) violates its known role.
+  // Rejections are counted via Network::note_defense_rejection.
+  bool receiver_order_check = false;
 };
 
 class EcmaNode : public ProtoNode {
@@ -95,6 +104,20 @@ class EcmaNode : public ProtoNode {
   void schedule_refresh();
   [[nodiscard]] bool advertisable(AdId dst) const;
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
+
+  // Static per-sender distance lower bounds for the receiver-side
+  // defense, computed lazily over the full (state-independent) topology:
+  // live distances can only be >= these, so any advertisement below them
+  // is a provable lie.
+  struct SenderBound {
+    std::vector<std::uint16_t> dist;       // any-shape hops from sender
+    std::vector<std::uint16_t> down_dist;  // down-links-only hops
+  };
+  [[nodiscard]] const SenderBound& sender_bound(AdId from);
+  [[nodiscard]] bool defense_accepts(const SenderBound& bound, AdId from,
+                                     AdId dst, bool adv_down_only,
+                                     std::uint16_t adv) const;
+  std::unordered_map<std::uint32_t, SenderBound> sender_bounds_;
   [[nodiscard]] bool neighbor_is_below(AdId neighbor) const {
     // Link self -> neighbor is a down link from our perspective.
     return !order_->is_up(self(), neighbor);

@@ -115,6 +115,14 @@ void IdrpNode::schedule_refresh() {
 }
 
 std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
+  // A Byzantine/misconfigured AD lies at this advertisement point:
+  //   * route leak -- learned routes are re-advertised with wide-open
+  //     attributes, skipping the Policy Term intersection entirely;
+  //   * tamper     -- the path is shortened to a claimed direct
+  //     adjacency with the destination (path-vector length fraud);
+  //   * false origin -- a path=[self] origin claim for the victim is
+  //     appended after the honest routes.
+  const Misbehavior mis = net().active_misbehavior(self());
   wire::Writer w;
   w.u8(kMsgUpdate);
   wire::Writer body;
@@ -140,10 +148,34 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
         ++emitted_for_dst;
         continue;
       }
+      IDR_CHECK(!route.path.empty());
+      if (mis == Misbehavior::kRouteLeak) {
+        IdrpRoute adv;
+        adv.dst = dst;
+        adv.path.reserve(route.path.size() + 1);
+        adv.path.push_back(self());
+        adv.path.insert(adv.path.end(), route.path.begin(),
+                        route.path.end());
+        adv.attrs = RouteAttrs{};  // wide open: every source/QoS/UCI/hour
+        adv.attrs.cost = route.attrs.cost;
+        adv.encode(body);
+        ++count;
+        ++emitted_for_dst;
+        continue;
+      }
+      if (mis == Misbehavior::kTamper) {
+        IdrpRoute adv;
+        adv.dst = dst;
+        adv.path = {self(), dst};  // claims a direct adjacency
+        adv.attrs = route.attrs;
+        adv.encode(body);
+        ++count;
+        ++emitted_for_dst;
+        continue;
+      }
       // Transit: we may re-advertise only under our own Policy Terms that
       // accept traffic arriving from `neighbor` and departing toward the
       // route's next hop, bound for `dst`.
-      IDR_CHECK(!route.path.empty());
       const AdId next = route.path.front();
       for (const PolicyTerm& t : own_terms) {
         if (emitted_for_dst >= config_.routes_per_dest) break;
@@ -168,6 +200,16 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
         ++count;
         ++emitted_for_dst;
       }
+    }
+  }
+  if (mis == Misbehavior::kFalseOrigin) {
+    const AdId victim = net().misbehavior_victim(self());
+    if (victim.valid() && victim != self() && victim != neighbor) {
+      IdrpRoute adv;
+      adv.dst = victim;
+      adv.path = {self()};  // "the victim is me" -- shortest possible claim
+      adv.encode(body);
+      ++count;
     }
   }
   w.u16(count);
@@ -216,7 +258,11 @@ void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     }
     if (route->dst == self()) continue;
     if (!route->attrs.usable()) continue;
-    received.push_back(std::move(*route));
+    if (config_.defend) {
+      defend_and_keep(from, std::move(*route), received);
+    } else {
+      received.push_back(std::move(*route));
+    }
   }
   if (decode_failed || !r.ok()) {
     drop_malformed();
@@ -224,6 +270,52 @@ void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   }
   adj_rib_in_[from.v] = std::move(received);
   reselect_and_maybe_advertise();
+}
+
+void IdrpNode::defend_and_keep(AdId from, IdrpRoute route,
+                               std::vector<IdrpRoute>& kept) {
+  // Neighbor-consistency rejection. The path must really end at the
+  // claimed destination (a false-origin path=[liar] for someone else's
+  // dst fails here) and every consecutive pair on it must be statically
+  // adjacent (a tampered "direct adjacency" shortcut fails here).
+  if (route.path.back() != route.dst) {
+    net().note_defense_rejection(self());
+    return;
+  }
+  for (std::size_t i = 0; i + 1 < route.path.size(); ++i) {
+    if (!topo().find_link(route.path[i], route.path[i + 1])) {
+      net().note_defense_rejection(self());
+      return;
+    }
+  }
+  if (route.path.size() == 1) {
+    kept.push_back(std::move(route));  // origin route: dst == from
+    return;
+  }
+  // Transit route: clamp to the sender's *registered* Policy Terms,
+  // mirroring what an honest `from` would have computed in encode_for.
+  // An honest advertisement survives unchanged (its producing term's
+  // clamp is the identity on it); a leaked wide-open one is narrowed to
+  // what `from` was actually allowed to say -- and rejected outright if
+  // no registered term of `from` covers this (prev=us, next, dst) at all
+  // (a stub has no terms, so any transit route from it dies here).
+  const AdId next = route.path[1];
+  bool any = false;
+  for (const PolicyTerm& t : policies_->terms(from)) {
+    if (!t.prev_hops.contains(self())) continue;
+    if (!t.next_hops.contains(next)) continue;
+    if (!t.dests.contains(route.dst)) continue;
+    IdrpRoute clamped = route;
+    clamped.attrs.sources = intersect_sets(route.attrs.sources, t.sources);
+    clamped.attrs.qos_mask = route.attrs.qos_mask & t.qos_mask;
+    clamped.attrs.uci_mask = route.attrs.uci_mask & t.uci_mask;
+    clamped.attrs.hour_mask =
+        route.attrs.hour_mask & hour_window_mask(t.hour_begin, t.hour_end);
+    if (!clamped.attrs.usable()) continue;
+    kept.push_back(std::move(clamped));
+    any = true;
+  }
+  if (!any) net().note_defense_rejection(self());
 }
 
 void IdrpNode::on_link_change(AdId neighbor, bool up) {
@@ -312,8 +404,12 @@ std::optional<AdId> IdrpNode::forward(const FlowSpec& flow, AdId prev) const {
     const auto link = topo().find_link(self(), route.path.front());
     if (!link || !topo().link(*link).up) continue;
     // Transit packets must additionally satisfy our own policy for the
-    // concrete (prev, next) transition they make through us.
+    // concrete (prev, next) transition they make through us -- unless we
+    // are the leaker: a route-leaking AD carries the transit traffic its
+    // illegal advertisements attracted (that is what makes a leak a leak
+    // rather than a black hole).
     if (self() != flow.src && prev.valid() &&
+        !net().misbehaving_as(self(), Misbehavior::kRouteLeak) &&
         !policies_->transit_cost(self(), flow, prev, route.path.front())) {
       continue;
     }

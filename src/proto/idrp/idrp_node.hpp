@@ -65,6 +65,15 @@ struct IdrpConfig {
   // Max routes retained/advertised per destination (paper: must grow with
   // policy granularity for sources to keep finding usable routes).
   std::uint32_t routes_per_dest = 4;
+  // Receiver-side Byzantine defense (self-in-path suppression is always
+  // on; this adds neighbor-consistency): the path must actually end at
+  // the claimed destination, every consecutive pair on it must be
+  // statically adjacent, and a transit route from a neighbor is clamped
+  // to that neighbor's *registered* Policy Terms (the paper's §2.3
+  // assurance model: policy registration is verifiable out of band) --
+  // a route no registered term of the sender could have produced is
+  // rejected. Rejections are counted via note_defense_rejection.
+  bool defend = false;
 };
 
 class IdrpNode : public ProtoNode {
@@ -115,6 +124,11 @@ class IdrpNode : public ProtoNode {
   void reselect_and_maybe_advertise();
   void advertise();
   void schedule_refresh();
+  // Defense filter for one received route (config_.defend only): checks
+  // neighbor consistency and clamps to the sender's registered terms,
+  // appending the surviving copies to `kept`.
+  void defend_and_keep(AdId from, IdrpRoute route,
+                       std::vector<IdrpRoute>& kept);
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
   [[nodiscard]] std::uint64_t rib_signature() const;
 

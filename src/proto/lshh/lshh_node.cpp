@@ -19,6 +19,15 @@ void LshhNode::schedule_refresh() {
   });
 }
 
+void LshhNode::sign_lsa(PolicyLsa& lsa) const {
+  // Signed with OUR key, whatever the LSA claims as origin: a forged
+  // LSA for a victim therefore carries a tag the victim's key cannot
+  // verify, which is exactly what the auth defense catches.
+  if (config_.lsa_keys && self().v < config_.lsa_keys->size()) {
+    lsa.auth = lsa_auth_tag(lsa, (*config_.lsa_keys)[self().v]);
+  }
+}
+
 void LshhNode::originate_lsa() {
   PolicyLsa lsa;
   lsa.origin = self();
@@ -36,8 +45,36 @@ void LshhNode::originate_lsa() {
   lsa.avoid = sp.avoid;
   lsa.max_hops = sp.max_hops;
   lsa.prefer_min_cost = sp.prefer_min_cost;
+  const Misbehavior mis = net().active_misbehavior(self());
+  if (mis == Misbehavior::kRouteLeak) {
+    // Route leak, link-state style: advertise unconditional transit in
+    // place of the registered terms (999 marks the lie in dumps; cost 1
+    // keeps the claim consistent with what honest cost-1 terms look
+    // like, so undefended receivers take the bait).
+    lsa.terms.clear();
+    lsa.terms.push_back(open_transit_term(self(), 999));
+  }
+  sign_lsa(lsa);
   lsdb_.insert(lsa);
   flood_lsa(lsa, kNoAd);
+  if (mis == Misbehavior::kFalseOrigin) forge_victim_lsa();
+}
+
+void LshhNode::forge_victim_lsa() {
+  // LS origin forgery: flood an LSA claiming to BE the victim, with a
+  // sequence number far ahead of the victim's real one so it wins the
+  // newer-seq race at every undefended receiver. No adjacencies: the
+  // victim simply vanishes from every computed path.
+  const AdId victim = net().misbehavior_victim(self());
+  if (!victim.valid() || victim == self()) return;
+  PolicyLsa forged;
+  forged.origin = victim;
+  const PolicyLsa* have = lsdb_.get(victim);
+  forged.seq = (have ? have->seq : 0) + 64;  // outruns origin fight-back
+  forged.has_source_policy = true;
+  sign_lsa(forged);  // our key, not the victim's -- detectably wrong
+  lsdb_.insert(forged);
+  flood_lsa(forged, kNoAd);
 }
 
 void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
@@ -58,6 +95,17 @@ void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   if (!lsa.has_value()) {
     drop_malformed();
     return;
+  }
+  if (config_.lsa_keys) {
+    // Origin authentication: the tag must verify under the *origin's*
+    // key. Kills both forged-origin LSAs (signed with the wrong key)
+    // and LSAs whose content was tampered with in transit (stale tag).
+    if (lsa->origin.v >= config_.lsa_keys->size() ||
+        lsa->auth != lsa_auth_tag(*lsa, (*config_.lsa_keys)[lsa->origin.v])) {
+      ++lsas_rejected_auth_;
+      net().note_defense_rejection(self());
+      return;
+    }
   }
   if (lsa->origin == self()) {
     // Sequence-number recovery after a cold restart: our own pre-crash
@@ -80,7 +128,22 @@ void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     send_pdu(from, std::move(w));
     return;
   }
-  if (lsdb_.insert(*lsa)) flood_lsa(*lsa, from);
+  if (lsdb_.insert(*lsa)) {
+    if (net().misbehaving_as(self(), Misbehavior::kTamper) &&
+        lsa->origin != self()) {
+      // Path-attribute tampering at the re-flood point: strip the
+      // origin's adjacencies and bump the sequence so the mutilated
+      // copy beats the original downstream. The auth tag goes stale,
+      // which is precisely what the origin-authentication defense
+      // detects; undefended receivers eat it.
+      PolicyLsa mangled = *lsa;
+      mangled.adjacencies.clear();
+      ++mangled.seq;
+      flood_lsa(mangled, from);
+      return;
+    }
+    flood_lsa(*lsa, from);
+  }
 }
 
 void LshhNode::on_link_change(AdId neighbor, bool up) {
@@ -117,7 +180,7 @@ std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
     options.minimize_cost = src_lsa->prefer_min_cost;
   }
   ++path_computations_;
-  const LsdbView view(lsdb_, topo().ad_count());
+  const LsdbView view(lsdb_, topo().ad_count(), config_.registry);
   const SynthesisResult result = synthesize_route(view, flow, options);
   total_expansions_ += result.expansions;
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "policy/database.hpp"
 #include "proto/common/node.hpp"
@@ -25,9 +26,24 @@
 
 namespace idr {
 
+struct LshhConfig {
+  // Origin-authentication keys, indexed by AdId (nullptr = auth off).
+  // With auth on, every received LSA's toy MAC is verified against the
+  // *origin's* key: a forged LSA signed by the liar's own key -- or a
+  // re-flooded LSA whose content was tampered with in transit -- is
+  // rejected and counted (lsas_rejected_auth + note_defense_rejection).
+  const std::vector<std::uint64_t>* lsa_keys = nullptr;
+  // Registered ground-truth policy for transit permission during path
+  // synthesis (nullptr = trust the terms advertised in LSAs). This is
+  // the route-leak defense: an AD cannot widen its transit policy by
+  // advertising terms it never registered.
+  const PolicySet* registry = nullptr;
+};
+
 class LshhNode : public ProtoNode {
  public:
-  explicit LshhNode(const PolicySet* policies) : policies_(policies) {}
+  explicit LshhNode(const PolicySet* policies, LshhConfig config = {})
+      : policies_(policies), config_(config) {}
 
   void start() override;
   void on_message(AdId from, std::span<const std::uint8_t> bytes) override;
@@ -58,6 +74,9 @@ class LshhNode : public ProtoNode {
   [[nodiscard]] std::uint64_t total_expansions() const noexcept {
     return total_expansions_;
   }
+  [[nodiscard]] std::uint64_t lsas_rejected_auth() const noexcept {
+    return lsas_rejected_auth_;
+  }
 
   static constexpr std::uint8_t kMsgLsa = 1;
 
@@ -68,6 +87,8 @@ class LshhNode : public ProtoNode {
   };
 
   void originate_lsa();
+  void forge_victim_lsa();
+  void sign_lsa(PolicyLsa& lsa) const;
   void flood_lsa(const PolicyLsa& lsa, AdId except);
   void schedule_refresh();
   [[nodiscard]] static std::uint64_t cache_key(const FlowSpec& flow) noexcept {
@@ -79,6 +100,7 @@ class LshhNode : public ProtoNode {
   }
 
   const PolicySet* policies_;
+  LshhConfig config_;
   PolicyLsdb lsdb_;
   double periodic_refresh_ms_ = 0.0;
   std::uint32_t my_seq_ = 0;
@@ -86,6 +108,7 @@ class LshhNode : public ProtoNode {
   std::uint64_t path_computations_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t total_expansions_ = 0;
+  std::uint64_t lsas_rejected_auth_ = 0;
 };
 
 }  // namespace idr

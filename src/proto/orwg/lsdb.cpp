@@ -115,6 +115,11 @@ std::optional<std::uint32_t> LsdbView::transit_cost(AdId ad,
                                                     const FlowSpec& flow,
                                                     AdId prev,
                                                     AdId next) const {
+  if (registry_) {
+    // Registered (ground-truth) policy overrides whatever the origin
+    // claims in its LSA: an AD cannot widen its transit policy by lying.
+    return registry_->transit_cost(ad, flow, prev, next);
+  }
   const PolicyLsa* lsa = db_.get(ad);
   if (!lsa) return std::nullopt;
   std::optional<std::uint32_t> best;

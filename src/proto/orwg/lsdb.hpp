@@ -80,11 +80,18 @@ class PolicyLsdb {
 
 // SynthesisView over a PolicyLsdb. A link is usable only if both
 // endpoints currently advertise it (bidirectional check); transit
-// permission comes from the advertised Policy Terms.
+// permission comes from the advertised Policy Terms -- unless a
+// `registry` is supplied, in which case transit permission is taken
+// from that configured PolicySet instead of from what the origin
+// *claims* in its LSA. The registry stands in for out-of-band policy
+// registration (the paper's §2.3 assurance spectrum): it is the
+// defense that stops a route-leaking AD from widening its own transit
+// policy simply by lying in its advertisement.
 class LsdbView final : public SynthesisView {
  public:
-  explicit LsdbView(const PolicyLsdb& db, std::size_t ad_count)
-      : db_(db), ad_count_(ad_count) {}
+  explicit LsdbView(const PolicyLsdb& db, std::size_t ad_count,
+                    const PolicySet* registry = nullptr)
+      : db_(db), ad_count_(ad_count), registry_(registry) {}
 
   [[nodiscard]] std::size_t ad_count() const override { return ad_count_; }
   void for_each_neighbor(
@@ -96,6 +103,7 @@ class LsdbView final : public SynthesisView {
  private:
   const PolicyLsdb& db_;
   std::size_t ad_count_;
+  const PolicySet* registry_ = nullptr;
 };
 
 }  // namespace idr

@@ -58,6 +58,14 @@ void OrwgNode::schedule_refresh() {
   });
 }
 
+void OrwgNode::sign_lsa(PolicyLsa& lsa) const {
+  // Signed with OUR key whatever the LSA claims as origin, so a forged
+  // victim-LSA carries a tag the victim's key cannot verify.
+  if (config_.lsa_keys && self().v < config_.lsa_keys->size()) {
+    lsa.auth = lsa_auth_tag(lsa, (*config_.lsa_keys)[self().v]);
+  }
+}
+
 void OrwgNode::originate_lsa() {
   PolicyLsa lsa;
   lsa.origin = self();
@@ -69,11 +77,33 @@ void OrwgNode::originate_lsa() {
   const auto terms = policies_->terms(self());
   lsa.terms.assign(terms.begin(), terms.end());
   // Source route-selection criteria stay private (contrast LSHH).
-  if (config_.lsa_keys) {
-    lsa.auth = lsa_auth_tag(lsa, (*config_.lsa_keys)[self().v]);
+  const Misbehavior mis = net().active_misbehavior(self());
+  if (mis == Misbehavior::kRouteLeak) {
+    // Route leak: advertise unconditional transit in place of the
+    // registered terms, attracting other sources' Policy Routes.
+    lsa.terms.clear();
+    lsa.terms.push_back(open_transit_term(self(), 999));
   }
+  sign_lsa(lsa);
   lsdb_.insert(lsa);
   flood_lsa(lsa, kNoAd);
+  if (mis == Misbehavior::kFalseOrigin) forge_victim_lsa();
+}
+
+void OrwgNode::forge_victim_lsa() {
+  // LS origin forgery (hijack): flood an LSA claiming to BE the victim,
+  // sequence-leapfrogged past the victim's fight-back, with no
+  // adjacencies -- every undefended route server drops the victim from
+  // its map.
+  const AdId victim = net().misbehavior_victim(self());
+  if (!victim.valid() || victim == self()) return;
+  PolicyLsa forged;
+  forged.origin = victim;
+  const PolicyLsa* have = lsdb_.get(victim);
+  forged.seq = (have ? have->seq : 0) + 64;
+  sign_lsa(forged);  // our key, not the victim's -- detectably wrong
+  lsdb_.insert(forged);
+  flood_lsa(forged, kNoAd);
 }
 
 void OrwgNode::accept_lsa(PolicyLsa lsa, AdId from) {
@@ -81,6 +111,7 @@ void OrwgNode::accept_lsa(PolicyLsa lsa, AdId from) {
     if (lsa.origin.v >= config_.lsa_keys->size() ||
         lsa.auth != lsa_auth_tag(lsa, (*config_.lsa_keys)[lsa.origin.v])) {
       ++lsas_rejected_auth_;
+      net().note_defense_rejection(self());
       return;
     }
   }
@@ -419,8 +450,15 @@ void OrwgNode::handle_setup(AdId from, wire::Reader& r) {
     return;
   }
 
-  const auto verdict =
-      gateway_->validate_and_install(handle, flow, path, position);
+  auto verdict = gateway_->validate_and_install(handle, flow, path, position);
+  if (verdict != PolicyGateway::Verdict::kAccepted &&
+      net().misbehaving_as(self(), Misbehavior::kRouteLeak)) {
+    // Route leak, source-routed style: the complicit gateway installs the
+    // setup its registered Policy Terms would have refused.
+    gateway_->set_validation(false);
+    verdict = gateway_->validate_and_install(handle, flow, path, position);
+    gateway_->set_validation(true);
+  }
   if (verdict != PolicyGateway::Verdict::kAccepted) {
     wire::Writer w;
     w.u8(kMsgNak);
@@ -585,6 +623,13 @@ void OrwgNode::handle_data(AdId from, wire::Reader& r) {
   for (auto& b : payload) b = r.u8();
   if (!r.ok()) {
     drop_malformed();
+    return;
+  }
+  if (net().drops_traffic(self(), state->flow.dst)) {
+    // Forwarding black hole (or hijacked destination): accept the packet
+    // into the PR, then silently discard it -- no error report, so the
+    // source cannot repair around us.
+    ++data_drops_;
     return;
   }
   w.raw(payload);

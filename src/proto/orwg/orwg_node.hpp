@@ -144,6 +144,8 @@ class OrwgNode : public ProtoNode {
   };
 
   void originate_lsa();
+  void forge_victim_lsa();
+  void sign_lsa(PolicyLsa& lsa) const;
   void flood_lsa(const PolicyLsa& lsa, AdId except);
   void schedule_refresh();
   void flush_pending_floods();

@@ -12,15 +12,17 @@ PolicyGateway::Verdict PolicyGateway::validate_and_install(
     ++setups_rejected_;
     return Verdict::kMalformedPath;
   }
-  if (path.front() != flow.src || path.back() != flow.dst) {
-    ++setups_rejected_;
-    return Verdict::kMalformedPath;
-  }
-  std::unordered_set<std::uint32_t> seen;
-  for (const AdId& ad : path) {
-    if (!seen.insert(ad.v).second) {
+  if (validation_) {
+    if (path.front() != flow.src || path.back() != flow.dst) {
       ++setups_rejected_;
       return Verdict::kMalformedPath;
+    }
+    std::unordered_set<std::uint32_t> seen;
+    for (const AdId& ad : path) {
+      if (!seen.insert(ad.v).second) {
+        ++setups_rejected_;
+        return Verdict::kMalformedPath;
+      }
     }
   }
   const AdId prev = position == 0 ? kNoAd : path[position - 1];
@@ -29,7 +31,7 @@ PolicyGateway::Verdict PolicyGateway::validate_and_install(
   // permitting local Policy Term (checked against the AD's *own* policy
   // database, not the flooded copy -- local policy is authoritative).
   std::uint32_t unit_cost = 0;
-  if (position != 0 && position + 1 != path.size()) {
+  if (validation_ && position != 0 && position + 1 != path.size()) {
     if (!topo_->can_transit(self_)) {
       ++setups_rejected_;
       return Verdict::kPolicyViolation;

@@ -73,6 +73,13 @@ class PolicyGateway {
   [[nodiscard]] std::vector<Invoice> invoices() const;
   [[nodiscard]] std::uint64_t total_revenue() const noexcept;
 
+  // Toggle setup-time policy validation. Off models a misconfigured or
+  // complicit gateway that installs whatever setup it is handed (the
+  // ORWG route-leak failure mode); structural checks that the handle
+  // cache itself needs (position/self on path) still apply.
+  void set_validation(bool enabled) noexcept { validation_ = enabled; }
+  [[nodiscard]] bool validation() const noexcept { return validation_; }
+
   // Setup state by handle without per-packet validation (ack/nak routing).
   [[nodiscard]] const SetupState* peek(PrHandle handle) const;
 
@@ -101,6 +108,7 @@ class PolicyGateway {
   AdId self_;
   const Topology* topo_;
   const PolicySet* policies_;
+  bool validation_ = true;
   std::unordered_map<std::uint64_t, SetupState> cache_;
   std::uint64_t setups_accepted_ = 0;
   std::uint64_t setups_rejected_ = 0;

@@ -49,7 +49,7 @@ SynthesisOptions RouteServer::options(std::uint64_t budget) const {
 
 bool RouteServer::still_valid(const FlowSpec& flow,
                               const CacheEntry& entry) const {
-  const LsdbView view(*db_, ad_count_);
+  const LsdbView view(*db_, ad_count_, config_.registry);
   return view_path_is_legal(view, flow, entry.path, options(0));
 }
 
@@ -74,7 +74,7 @@ std::optional<RouteServer::Result> RouteServer::route(const FlowSpec& flow) {
   }
 
   ++synth_calls_;
-  const LsdbView view(*db_, ad_count_);
+  const LsdbView view(*db_, ad_count_, config_.registry);
   const SynthesisResult result =
       synthesize_route(view, flow, options(config_.on_demand_budget));
   total_expansions_ += result.expansions;
@@ -88,7 +88,7 @@ std::optional<RouteServer::Result> RouteServer::route_avoiding(
     std::span<const std::pair<AdId, AdId>> dead_links) {
   IDR_CHECK_MSG(flow.src == self_, "route server serves its own AD only");
   ++synth_calls_;
-  const LsdbView view(*db_, ad_count_);
+  const LsdbView view(*db_, ad_count_, config_.registry);
   SynthesisOptions opt = options(config_.on_demand_budget);
   opt.avoid_links.assign(dead_links.begin(), dead_links.end());
   const SynthesisResult result = synthesize_route(view, flow, opt);
@@ -101,7 +101,7 @@ std::optional<RouteServer::Result> RouteServer::route_avoiding(
 
 void RouteServer::precompute(const std::vector<AdId>& dests) {
   if (config_.strategy == SynthesisStrategy::kOnDemand) return;
-  const LsdbView view(*db_, ad_count_);
+  const LsdbView view(*db_, ad_count_, config_.registry);
   for (AdId dst : dests) {
     if (dst == self_) continue;
     FlowSpec flow;

@@ -34,6 +34,11 @@ struct RouteServerConfig {
   // Pruned budget per destination during precomputation (the paper's
   // "heuristics to prune the search").
   std::uint64_t precompute_budget = 25'000;
+  // Registered ground-truth policy (nullptr = trust LSA-advertised
+  // terms). The route-leak defense for source-routed designs: routes
+  // are synthesized and revalidated against what each AD *registered*,
+  // so a lying LSA cannot attract other sources' Policy Routes.
+  const PolicySet* registry = nullptr;
 };
 
 class RouteServer {

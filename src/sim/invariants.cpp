@@ -1,5 +1,6 @@
 #include "sim/invariants.hpp"
 
+#include <algorithm>
 #include <queue>
 #include <utility>
 
@@ -80,8 +81,20 @@ void InvariantMonitor::sweep() {
                        now - last_fault_at_ > config_.reconverge_window_ms;
 
   std::uint64_t violations = 0;
+  // Each persistent (src, dst, kind) counts once for the run: re-observing
+  // the same broken pair on every sweep would make soak logs unbounded.
+  auto persistent_once = [&](AdId src, AdId dst, std::uint64_t kind,
+                             std::uint64_t& counter) {
+    const std::uint64_t key = (kind << 56) |
+                              (static_cast<std::uint64_t>(src.v) << 28) |
+                              static_cast<std::uint64_t>(dst.v);
+    if (persistent_seen_.insert(key).second) ++counter;
+  };
   auto classify = [&](AdId src, AdId dst) {
     if (!net_.alive(src) || !net_.alive(dst)) return;  // no one to ask
+    // Misbehaving endpoints are the liar's own problem: availability
+    // invariants are only claimed between honest ADs.
+    if (net_.misbehaving(src) || net_.misbehaving(dst)) return;
     ++stats_.probes;
     const Probe probe = probe_(src, dst);
     const bool reachable =
@@ -90,7 +103,7 @@ void InvariantMonitor::sweep() {
       case ProbeOutcome::kLooped:
         ++violations;
         if (settled) {
-          ++stats_.persistent_loops;
+          persistent_once(src, dst, 0, stats_.persistent_loops);
         } else {
           ++stats_.transient_loops;
         }
@@ -99,7 +112,7 @@ void InvariantMonitor::sweep() {
         if (reachable) {
           ++violations;
           if (settled) {
-            ++stats_.persistent_black_holes;
+            persistent_once(src, dst, 1, stats_.persistent_black_holes);
           } else {
             ++stats_.transient_black_holes;
           }
@@ -109,7 +122,7 @@ void InvariantMonitor::sweep() {
         if (!path_is_fresh(probe.path)) {
           ++violations;
           if (settled) {
-            ++stats_.persistent_stale_routes;
+            persistent_once(src, dst, 2, stats_.persistent_stale_routes);
           } else {
             ++stats_.transient_stale_routes;
           }
@@ -137,6 +150,173 @@ void InvariantMonitor::sweep() {
     stats_.reconverge_ms.add(now - last_fault_at_);
     awaiting_clean_sweep_ = false;
   }
+}
+
+// --- PolicyComplianceAuditor -----------------------------------------
+
+PolicyComplianceAuditor::PolicyComplianceAuditor(Network& net,
+                                                 AuditConfig config,
+                                                 ProbeFn probe,
+                                                 ReachableFn honest_reachable,
+                                                 ComplianceFn compliant)
+    : net_(net),
+      config_(config),
+      probe_(std::move(probe)),
+      honest_reachable_(std::move(honest_reachable)),
+      compliant_(std::move(compliant)) {}
+
+void PolicyComplianceAuditor::choose_pairs() {
+  // Fix the honest pair sample once, up front: blast radius across sweeps
+  // is only comparable if every sweep asks the same question. ADs with a
+  // configured misbehavior (even one not yet active) are excluded --
+  // compliance is only claimed between honest parties.
+  const Topology& topo = net_.topo();
+  std::vector<AdId> honest;
+  for (const Ad& ad : topo.ads()) {
+    if (net_.misbehavior_kind(ad.id) == Misbehavior::kNone) {
+      honest.push_back(ad.id);
+    }
+  }
+  const std::size_t h = honest.size();
+  if (h < 2) return;
+  const std::size_t all = h * (h - 1);
+  if (config_.sample_pairs == 0 || all <= config_.sample_pairs) {
+    for (const AdId s : honest) {
+      for (const AdId d : honest) {
+        if (s != d) pairs_.emplace_back(s, d);
+      }
+    }
+    return;
+  }
+  Prng prng(config_.sample_seed);
+  std::unordered_set<std::uint64_t> chosen;
+  while (pairs_.size() < config_.sample_pairs) {
+    const AdId s = honest[prng.below(h)];
+    AdId d = honest[prng.below(h)];
+    if (s == d) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(s.v) << 32) | d.v;
+    if (!chosen.insert(key).second) continue;
+    pairs_.emplace_back(s, d);
+  }
+}
+
+void PolicyComplianceAuditor::start(SimTime until_ms) {
+  until_ms_ = until_ms;
+  choose_pairs();
+  schedule_next();
+}
+
+void PolicyComplianceAuditor::schedule_next() {
+  // Sweeps only run from misbehavior onset: before it everyone is honest
+  // and the InvariantMonitor already covers plain availability.
+  const SimTime base = std::max(net_.engine().now(), config_.onset_ms);
+  const SimTime next = base + config_.cadence_ms;
+  if (next > until_ms_) return;
+  net_.engine().at(next, [this] {
+    sweep();
+    schedule_next();
+  });
+}
+
+void PolicyComplianceAuditor::record(AdId src, AdId dst,
+                                     ViolationKind kind) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(kind) << 56) |
+      (static_cast<std::uint64_t>(src.v) << 28) |
+      static_cast<std::uint64_t>(dst.v);
+  if (!seen_.insert(key).second) return;
+  switch (kind) {
+    case ViolationKind::kHijack: ++stats_.hijacked_pairs; break;
+    case ViolationKind::kLeak: ++stats_.leaked_pairs; break;
+    case ViolationKind::kBlackHole: ++stats_.black_holed_pairs; break;
+    case ViolationKind::kCollateral: ++stats_.collateral_pairs; break;
+  }
+}
+
+PolicyComplianceAuditor::ViolationKind
+PolicyComplianceAuditor::classify_delivered(
+    AdId dst, const std::vector<AdId>& path) const {
+  // Delivered but policy-illegal. If an active hijacker of this very dst
+  // sits on the path it captured the traffic; otherwise somebody leaked.
+  for (const AdId hop : path) {
+    if (net_.misbehaving_as(hop, Misbehavior::kFalseOrigin) &&
+        net_.misbehavior_victim(hop) == dst) {
+      return ViolationKind::kHijack;
+    }
+  }
+  return ViolationKind::kLeak;
+}
+
+PolicyComplianceAuditor::ViolationKind PolicyComplianceAuditor::classify_failed(
+    AdId dst, const std::vector<AdId>& path) const {
+  // An honest-reachable pair failed. A false-origin attack on this dst
+  // explains it even when the hijacker is not on the walk (forged state
+  // can divert or kill the route anywhere).
+  for (const ByzantineSpec& spec : net_.byzantine_specs()) {
+    if (spec.kind == Misbehavior::kFalseOrigin && spec.victim == dst &&
+        net_.misbehaving(spec.ad)) {
+      return ViolationKind::kHijack;
+    }
+  }
+  for (const AdId hop : path) {
+    switch (net_.active_misbehavior(hop)) {
+      case Misbehavior::kBlackHole:
+        return ViolationKind::kBlackHole;
+      case Misbehavior::kRouteLeak:
+      case Misbehavior::kTamper:
+        return ViolationKind::kLeak;
+      case Misbehavior::kFalseOrigin:
+        return ViolationKind::kHijack;
+      case Misbehavior::kNone:
+        break;
+    }
+  }
+  return ViolationKind::kCollateral;
+}
+
+void PolicyComplianceAuditor::sweep() {
+  ++stats_.sweeps;
+  std::size_t polluted = 0;
+  std::size_t asked = 0;
+  for (const auto& [src, dst] : pairs_) {
+    if (!net_.alive(src) || !net_.alive(dst)) continue;
+    ++asked;
+    ++stats_.probes;
+    const Probe probe = probe_(src, dst);
+    if (probe.outcome == ProbeOutcome::kDelivered) {
+      if (compliant_(src, dst, probe.path)) continue;
+      ++polluted;
+      record(src, dst, classify_delivered(dst, probe.path));
+    } else {
+      if (!honest_reachable_(src, dst)) continue;
+      ++polluted;
+      record(src, dst, classify_failed(dst, probe.path));
+    }
+  }
+  last_sweep_pollution_ =
+      asked == 0 ? 0.0
+                 : static_cast<double>(polluted) / static_cast<double>(asked);
+  if (last_sweep_pollution_ > stats_.peak_pollution) {
+    stats_.peak_pollution = last_sweep_pollution_;
+  }
+  if (polluted > 0) last_polluted_at_ = net_.engine().now();
+}
+
+AuditStats PolicyComplianceAuditor::stats() const {
+  AuditStats out = stats_;
+  out.final_pollution = last_sweep_pollution_;
+  if (out.sweeps == 0) {
+    out.containment_ms = -1.0;  // never audited: no containment claim
+  } else if (last_sweep_pollution_ > 0.0) {
+    out.containment_ms = -1.0;  // still polluted at the end
+  } else if (last_polluted_at_ < 0.0) {
+    out.containment_ms = 0.0;  // never polluted at all
+  } else {
+    out.containment_ms =
+        std::max(0.0, last_polluted_at_ - config_.onset_ms);
+  }
+  return out;
 }
 
 }  // namespace idr

@@ -28,6 +28,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/network.hpp"
@@ -62,6 +64,9 @@ struct InvariantStats {
   std::uint64_t transient_loops = 0;
   std::uint64_t transient_black_holes = 0;
   std::uint64_t transient_stale_routes = 0;
+  // Persistent counters are deduplicated: each (src, dst, kind) triple
+  // counts once for the whole run no matter how many sweeps re-observe
+  // it, so long soak logs stay bounded.
   std::uint64_t persistent_loops = 0;
   std::uint64_t persistent_black_holes = 0;
   std::uint64_t persistent_stale_routes = 0;
@@ -117,6 +122,108 @@ class InvariantMonitor {
   SimTime until_ms_ = 0.0;
   SimTime last_fault_at_ = -1.0;  // <0: no fault yet
   bool awaiting_clean_sweep_ = false;
+  // (src, dst, kind) triples already counted as persistent.
+  std::unordered_set<std::uint64_t> persistent_seen_;
+};
+
+// --- Policy-compliance auditing under Byzantine faults ----------------
+//
+// The InvariantMonitor above asks "does forwarding work?"; the auditor
+// asks the paper's sharper question: "does forwarding *comply with
+// policy*?". On a cadence it walks the same forwarding probes over a
+// fixed sample of honest (src, dst) pairs and checks every delivered
+// path against ground truth (the configured policy databases / the ECMA
+// partial order), and every failed probe against honest reachability.
+// Violations are classified by the misbehavior that explains them:
+//
+//   * hijack     -- traffic for a false-origin victim captured/killed;
+//   * leak       -- a delivered path that violates someone's transit
+//                   policy, or a failure attributable to a leaking or
+//                   tampering AD on the probe's walk;
+//   * black hole -- a failure attributable to an advertising-but-
+//                   dropping AD on the walk;
+//   * collateral -- an honest pair broken with no misbehaving AD on the
+//                   walk (pollution spread beyond the liar's neighbors).
+//
+// Blast radius is the per-sweep fraction of sampled pairs polluted
+// (peak and final reported); time-to-containment is the interval from
+// misbehavior onset to the start of the clean suffix of sweeps (0 if
+// never polluted, -1 if still polluted at the end -- not contained).
+
+struct AuditConfig {
+  SimTime cadence_ms = 100.0;
+  SimTime onset_ms = 0.0;  // audit sweeps begin after misbehavior onset
+  // Honest (src, dst) pairs sampled (fixed at start); 0 = every pair.
+  std::size_t sample_pairs = 48;
+  std::uint64_t sample_seed = 0xbadc0de5ULL;
+};
+
+struct AuditStats {
+  std::uint64_t sweeps = 0;
+  std::uint64_t probes = 0;
+  // Distinct polluted (src, dst) pairs per classification (deduped).
+  std::uint64_t hijacked_pairs = 0;
+  std::uint64_t leaked_pairs = 0;
+  std::uint64_t black_holed_pairs = 0;
+  std::uint64_t collateral_pairs = 0;
+  double peak_pollution = 0.0;   // max per-sweep polluted fraction
+  double final_pollution = 0.0;  // polluted fraction of the last sweep
+  SimTime containment_ms = -1.0;
+
+  [[nodiscard]] std::uint64_t violation_pairs() const noexcept {
+    return hijacked_pairs + leaked_pairs + black_holed_pairs +
+           collateral_pairs;
+  }
+  [[nodiscard]] bool contained() const noexcept {
+    return containment_ms >= 0.0;
+  }
+};
+
+class PolicyComplianceAuditor {
+ public:
+  using ProbeFn = InvariantMonitor::ProbeFn;
+  using ReachableFn = InvariantMonitor::ReachableFn;
+  // Is this delivered src..dst path legal under ground-truth policy?
+  using ComplianceFn = std::function<bool(
+      AdId src, AdId dst, const std::vector<AdId>& path)>;
+
+  PolicyComplianceAuditor(Network& net, AuditConfig config, ProbeFn probe,
+                          ReachableFn honest_reachable,
+                          ComplianceFn compliant);
+
+  void start(SimTime until_ms);
+  void sweep();
+
+  // Finalizes final_pollution / containment_ms from the sweep history.
+  [[nodiscard]] AuditStats stats() const;
+
+ private:
+  enum class ViolationKind : std::uint8_t {
+    kHijack = 0,
+    kLeak = 1,
+    kBlackHole = 2,
+    kCollateral = 3,
+  };
+
+  void choose_pairs();
+  void schedule_next();
+  void record(AdId src, AdId dst, ViolationKind kind);
+  [[nodiscard]] ViolationKind classify_delivered(
+      AdId dst, const std::vector<AdId>& path) const;
+  [[nodiscard]] ViolationKind classify_failed(
+      AdId dst, const std::vector<AdId>& path) const;
+
+  Network& net_;
+  AuditConfig config_;
+  ProbeFn probe_;
+  ReachableFn honest_reachable_;
+  ComplianceFn compliant_;
+  std::vector<std::pair<AdId, AdId>> pairs_;
+  AuditStats stats_;
+  std::unordered_set<std::uint64_t> seen_;
+  SimTime until_ms_ = 0.0;
+  SimTime last_polluted_at_ = -1.0;
+  double last_sweep_pollution_ = 0.0;
 };
 
 }  // namespace idr

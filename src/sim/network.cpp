@@ -38,6 +38,10 @@ void Node::enable_keepalive(const KeepaliveConfig& config) {
 }
 
 bool Node::neighbor_alive(AdId neighbor) const {
+  // A quarantined neighbor is administratively dead regardless of what
+  // the hold timer last concluded (its frames are blocked, so the timer
+  // will agree shortly anyway).
+  if (net_ && net_->is_quarantined(neighbor)) return false;
   if (!keepalive_enabled_) return true;
   const auto it = liveness_.find(neighbor.v);
   return it == liveness_.end() || it->second.alive;
@@ -91,6 +95,7 @@ void Node::schedule_keepalive_tick(SimTime delay_ms) {
 }
 
 void Node::note_heard(AdId from) {
+  if (net_ && net_->is_quarantined(from)) return;  // no revival while isolated
   const auto it = liveness_.find(from.v);
   if (it == liveness_.end()) return;
   NeighborLiveness& nl = it->second;
@@ -104,11 +109,83 @@ void Node::note_heard(AdId from) {
 
 // --- Network ---------------------------------------------------------
 
+const char* to_string(Misbehavior m) noexcept {
+  switch (m) {
+    case Misbehavior::kNone: return "none";
+    case Misbehavior::kFalseOrigin: return "false-origin";
+    case Misbehavior::kRouteLeak: return "route-leak";
+    case Misbehavior::kTamper: return "tamper";
+    case Misbehavior::kBlackHole: return "black-hole";
+  }
+  return "?";
+}
+
 Network::Network(Engine& engine, Topology& topo)
     : engine_(engine), topo_(topo) {
   nodes_.resize(topo.ad_count());
   generations_.resize(topo.ad_count(), 0);
   counters_.resize(topo.ad_count());
+  byz_by_ad_.resize(topo.ad_count());
+  quarantined_.resize(topo.ad_count(), 0);
+}
+
+// --- Byzantine / misconfigured ADs -----------------------------------
+
+void Network::set_misbehavior(const ByzantineSpec& spec) {
+  IDR_CHECK(spec.ad.v < byz_by_ad_.size());
+  byz_specs_.push_back(spec);
+  byz_by_ad_[spec.ad.v] = spec;
+}
+
+Misbehavior Network::misbehavior_kind(AdId ad) const {
+  IDR_CHECK(ad.v < byz_by_ad_.size());
+  return byz_by_ad_[ad.v].kind;
+}
+
+AdId Network::misbehavior_victim(AdId ad) const {
+  IDR_CHECK(ad.v < byz_by_ad_.size());
+  return byz_by_ad_[ad.v].victim;
+}
+
+Misbehavior Network::active_misbehavior(AdId ad) const {
+  IDR_CHECK(ad.v < byz_by_ad_.size());
+  const ByzantineSpec& spec = byz_by_ad_[ad.v];
+  if (spec.kind == Misbehavior::kNone) return Misbehavior::kNone;
+  if (engine_.now() < spec.start_ms) return Misbehavior::kNone;
+  return spec.kind;
+}
+
+bool Network::drops_traffic(AdId ad, AdId dst) const {
+  if (ad == dst) return false;  // terminal delivery at self always works
+  const Misbehavior kind = active_misbehavior(ad);
+  if (kind == Misbehavior::kBlackHole) return true;
+  if (kind == Misbehavior::kFalseOrigin) {
+    return misbehavior_victim(ad) == dst;
+  }
+  return false;
+}
+
+void Network::quarantine(AdId ad) {
+  IDR_CHECK(ad.v < quarantined_.size());
+  if (quarantined_[ad.v]) return;
+  quarantined_[ad.v] = 1;
+  if (churn_observer_) churn_observer_();
+  // Tell alive neighbors immediately -- the modeled conformance monitor
+  // plays the role of an operator yanking the session.
+  for (const Adjacency& adj : topo_.neighbors(ad)) {
+    if (Node* n = nodes_[adj.neighbor.v].get()) n->on_link_change(ad, false);
+  }
+}
+
+bool Network::is_quarantined(AdId ad) const {
+  IDR_CHECK(ad.v < quarantined_.size());
+  return quarantined_[ad.v] != 0;
+}
+
+void Network::note_defense_rejection(AdId ad) {
+  IDR_CHECK(ad.v < counters_.size());
+  counters_[ad.v].defense_rejections += 1;
+  total_.defense_rejections += 1;
 }
 
 void Network::attach(AdId ad, std::unique_ptr<Node> node) {
@@ -266,6 +343,14 @@ void Network::deliver_frame(AdId from, AdId to, LinkId link,
         !fault_prng_.bernoulli(faults_.corrupt_deliver_fraction)) {
       // The modeled datagram checksum caught the mangled frame at the
       // receiving interface; it never reaches the protocol.
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    if (quarantined_[from.v]) {
+      // The sender has been quarantined by the conformance monitor:
+      // every receiving interface discards its frames (keepalives
+      // included, so it cannot revive its own liveness entry).
       counters_[from.v].msgs_dropped += 1;
       total_.msgs_dropped += 1;
       return;

@@ -34,6 +34,40 @@ namespace idr {
 
 class Network;
 
+// --- Byzantine / misconfigured-AD fault model ------------------------
+// Orthogonal to the delivery faults above: a misbehaving AD runs the
+// protocol but lies in it (or silently eats traffic). The taxonomy maps
+// the dominant real-world inter-domain failure modes onto the paper's
+// four design points:
+//   * kFalseOrigin -- hijack: claims to originate reachability for a
+//     victim AD (metric-0 DV entry, path=[self] route, forged LSA) and
+//     black-holes the victim's traffic it attracts;
+//   * kRouteLeak -- re-advertises learned routes in violation of its own
+//     transit policy (IDRP/LS term violation, ECMA down-then-up rule);
+//   * kTamper -- mutates path attributes in transit or at origin (IDRP
+//     path shortening, DV metric zeroing, LS adjacency stripping on
+//     re-flood);
+//   * kBlackHole -- advertises honestly but drops all transit traffic.
+enum class Misbehavior : std::uint8_t {
+  kNone = 0,
+  kFalseOrigin = 1,
+  kRouteLeak = 2,
+  kTamper = 3,
+  kBlackHole = 4,
+};
+
+[[nodiscard]] const char* to_string(Misbehavior m) noexcept;
+
+// One misbehaving AD in a seeded schedule. Before start_ms the AD is
+// honest; from start_ms on it misbehaves until quarantined (defended
+// runs) or the end of the run.
+struct ByzantineSpec {
+  AdId ad;
+  Misbehavior kind = Misbehavior::kNone;
+  AdId victim;  // false-origin hijack target; invalid otherwise
+  SimTime start_ms = 0.0;
+};
+
 // Adversarial delivery faults applied per frame, decided at send time
 // from one seeded stream (so a run is reproducible from the seed alone).
 struct FaultConfig {
@@ -228,6 +262,41 @@ class Network {
     churn_observer_ = std::move(fn);
   }
 
+  // --- Byzantine / misconfigured ADs ---------------------------------
+  // Install one misbehavior spec (at most one per AD; later wins).
+  void set_misbehavior(const ByzantineSpec& spec);
+  [[nodiscard]] const std::vector<ByzantineSpec>& byzantine_specs()
+      const noexcept {
+    return byz_specs_;
+  }
+  // The AD's configured kind, regardless of onset time (kNone if honest).
+  [[nodiscard]] Misbehavior misbehavior_kind(AdId ad) const;
+  [[nodiscard]] AdId misbehavior_victim(AdId ad) const;
+  // The AD's kind iff its onset time has passed; kNone before onset.
+  [[nodiscard]] Misbehavior active_misbehavior(AdId ad) const;
+  [[nodiscard]] bool misbehaving(AdId ad) const {
+    return active_misbehavior(ad) != Misbehavior::kNone;
+  }
+  [[nodiscard]] bool misbehaving_as(AdId ad, Misbehavior kind) const {
+    return active_misbehavior(ad) == kind;
+  }
+  // Would `ad` drop a transit/terminal data packet destined for `dst`
+  // right now? True for an active black hole (any dst) and for an active
+  // false-origin hijacker (its victim's traffic). The forwarding-walk
+  // probes consult this; control-plane frames are unaffected.
+  [[nodiscard]] bool drops_traffic(AdId ad, AdId dst) const;
+
+  // Data-plane conformance containment: isolate a detected misbehaving
+  // AD. Its frames are dropped at every receiving interface, neighbors
+  // see it as dead (keepalive revival is suppressed), and alive
+  // neighbors get an immediate on_link_change(ad, false).
+  void quarantine(AdId ad);
+  [[nodiscard]] bool is_quarantined(AdId ad) const;
+
+  // A protocol's Byzantine defense rejected (or clamped away) an
+  // advertisement at `ad`.
+  void note_defense_rejection(AdId ad);
+
  private:
   friend class Node;
 
@@ -252,6 +321,9 @@ class Network {
   KeepaliveConfig default_keepalive_;
   bool keepalive_default_set_ = false;
   std::function<void()> churn_observer_;
+  std::vector<ByzantineSpec> byz_specs_;
+  std::vector<ByzantineSpec> byz_by_ad_;  // indexed by AdId; kNone = honest
+  std::vector<std::uint8_t> quarantined_;  // indexed by AdId
 };
 
 }  // namespace idr

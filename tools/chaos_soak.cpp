@@ -7,22 +7,34 @@
 // timer machinery. A continuous invariant monitor probes forwarding state
 // throughout and classifies loops, black holes and stale routes.
 //
-// The soak FAILS (exit 1) if:
-//   * any design point shows a persistent invariant violation (one seen
-//     after the reconvergence window of the latest fault), or
-//   * the same seed does not reproduce byte-identical per-AD counters
-//     across two runs (the chaos schedule must be a pure function of the
-//     seed), or
-//   * the schedule injected no crashes/corruptions (a vacuous soak).
+// With --byzantine N the delivery faults and churn are switched off and N
+// transit-capable ADs instead misbehave (route leak, false-origin hijack,
+// black hole, path tampering) against provider/customer policies; a
+// policy-compliance auditor measures blast radius and containment.
+// --defended arms every design point's defenses.
 //
-// Usage: chaos_soak [--seed N] [--horizon-ms T] [--runs K]
+// The soak FAILS (exit 1) if:
+//   * (non-Byzantine) any design point shows a persistent invariant
+//     violation, or the schedule injected no crashes/corruptions (a
+//     vacuous soak), or
+//   * (Byzantine, defended) any design point is left uncontained or with
+//     a persistently polluted honest (src, dst) pair, or
+//   * any mode: the same seed does not reproduce byte-identical per-AD
+//     counters across two runs (every schedule must be a pure function
+//     of the seed).
+//
+// Usage: chaos_soak [--seed N] [--duration-ms T] [--runs K]
+//                   [--byzantine N] [--defended] [--json PATH]
 //   --runs K soaks K distinct seeds (seed, seed+1, ...); each is run
-//   twice for the determinism check.
+//   twice for the determinism check. --horizon-ms is accepted as an
+//   alias of --duration-ms. --json writes a machine-readable report of
+//   every run (for the nightly CI artifact).
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/chaos.hpp"
 #include "util/table.hpp"
@@ -31,47 +43,128 @@ namespace {
 
 using namespace idr;
 
-int run_seed(std::uint64_t seed, double horizon_ms) {
-  int failures = 0;
+struct SoakOptions {
+  std::uint64_t seed = 1;
+  double duration_ms = 10'000.0;
+  int runs = 1;
+  std::size_t byzantine = 0;
+  bool defended = false;
+  std::string json_path;
+};
+
+ChaosParams make_params(const SoakOptions& opts, std::uint64_t seed) {
   ChaosParams params;
   params.seed = seed;
-  params.horizon_ms = horizon_ms;
+  params.horizon_ms = opts.duration_ms;
+  if (opts.byzantine > 0) {
+    // Pure Byzantine schedule: no churn and no delivery faults, so a
+    // polluted pair is attributable to misbehavior, not bad luck.
+    params.churn_fraction = 0.0;
+    params.faults = FaultConfig{};
+    params.policy_mode = PolicyMode::kProviderCustomer;
+    params.byzantine.count = opts.byzantine;
+    params.byzantine.defended = opts.defended;
+    params.audit.sample_pairs = 0;  // audit every honest ordered pair
+  }
+  return params;
+}
 
-  std::printf("-- seed %" PRIu64 ", horizon %.0f ms --\n", seed, horizon_ms);
-  Table table({"arch", "link fails", "crashes", "corrupt", "dup", "reorder",
-               "malformed", "probes", "transient", "persistent",
-               "reconv p50(ms)"});
+void json_escape_free_run(std::FILE* f, const ChaosResult& r, bool last) {
+  const InvariantStats& inv = r.invariants;
+  const AuditStats& audit = r.audit;
+  std::fprintf(
+      f,
+      "    {\"arch\": \"%s\", \"fingerprint\": \"%016" PRIx64
+      "\", \"link_failures\": %zu, \"node_crashes\": %zu,\n"
+      "     \"msgs_sent\": %" PRIu64 ", \"msgs_corrupted\": %" PRIu64
+      ", \"defense_rejections\": %" PRIu64 ",\n"
+      "     \"invariants\": {\"probes\": %" PRIu64 ", \"transient\": %" PRIu64
+      ", \"persistent\": %" PRIu64 ", \"persistent_loops\": %" PRIu64
+      ", \"persistent_black_holes\": %" PRIu64
+      ", \"persistent_stale\": %" PRIu64 "},\n"
+      "     \"byzantine\": %zu, \"defended\": %s,\n"
+      "     \"audit\": {\"sweeps\": %" PRIu64 ", \"probes\": %" PRIu64
+      ", \"hijacked_pairs\": %" PRIu64 ", \"leaked_pairs\": %" PRIu64
+      ", \"black_holed_pairs\": %" PRIu64 ", \"collateral_pairs\": %" PRIu64
+      ", \"peak_pollution\": %.6f, \"final_pollution\": %.6f"
+      ", \"containment_ms\": %.1f, \"contained\": %s}}%s\n",
+      r.arch.c_str(), r.counter_fingerprint, r.link_failures, r.node_crashes,
+      r.totals.msgs_sent, r.totals.msgs_corrupted, r.defense_rejections,
+      inv.probes, inv.transient_violations(), inv.persistent_violations(),
+      inv.persistent_loops, inv.persistent_black_holes,
+      inv.persistent_stale_routes, r.byzantine.size(),
+      r.defended ? "true" : "false", audit.sweeps, audit.probes,
+      audit.hijacked_pairs, audit.leaked_pairs, audit.black_holed_pairs,
+      audit.collateral_pairs, audit.peak_pollution, audit.final_pollution,
+      audit.containment_ms, audit.contained() ? "true" : "false",
+      last ? "" : ",");
+}
+
+int run_seed(const SoakOptions& opts, std::uint64_t seed,
+             std::vector<ChaosResult>& report) {
+  int failures = 0;
+  const ChaosParams params = make_params(opts, seed);
+  const bool byz = opts.byzantine > 0;
+
+  std::printf("-- seed %" PRIu64 ", duration %.0f ms%s --\n", seed,
+              opts.duration_ms,
+              byz ? (opts.defended ? ", byzantine (defended)"
+                                   : ", byzantine (undefended)")
+                  : "");
+  Table table = byz ? Table({"arch", "rejections", "hijack", "leak",
+                             "blackhole", "collateral", "peak%", "final%",
+                             "contain(ms)", "persistent"})
+                    : Table({"arch", "link fails", "crashes", "corrupt",
+                             "dup", "reorder", "malformed", "probes",
+                             "transient", "persistent", "reconv p50(ms)"});
+  bool schedule_shown = false;
   for (const std::string& arch : chaos_design_points()) {
     const ChaosResult first = run_chaos(arch, params);
     const ChaosResult second = run_chaos(arch, params);
+    report.push_back(first);
+    if (byz && !schedule_shown) {
+      schedule_shown = true;
+      std::printf("   schedule:");
+      for (const ByzantineSpec& spec : first.byzantine) {
+        std::printf(" ad%u=%s", spec.ad.v, to_string(spec.kind));
+        if (spec.victim.valid()) std::printf("->ad%u", spec.victim.v);
+      }
+      std::printf(" (onset %.0f ms)\n", params.byzantine.onset_ms);
+    }
 
     const InvariantStats& inv = first.invariants;
-    table.add_row(
-        {arch, Table::integer(static_cast<long long>(first.link_failures)),
-         Table::integer(static_cast<long long>(first.node_crashes)),
-         Table::integer(static_cast<long long>(first.totals.msgs_corrupted)),
-         Table::integer(static_cast<long long>(first.totals.msgs_duplicated)),
-         Table::integer(static_cast<long long>(first.totals.msgs_reordered)),
-         Table::integer(
-             static_cast<long long>(first.totals.malformed_dropped)),
-         Table::integer(static_cast<long long>(inv.probes)),
-         Table::integer(static_cast<long long>(inv.transient_violations())),
-         Table::integer(static_cast<long long>(inv.persistent_violations())),
-         inv.reconverge_ms.count() > 0
-             ? Table::num(inv.reconverge_ms.median())
-             : "-"});
-
-    if (inv.persistent_violations() != 0) {
-      std::fprintf(stderr,
-                   "FAIL [%s seed %" PRIu64
-                   "]: %" PRIu64 " persistent invariant violations "
-                   "(loops=%" PRIu64 " black holes=%" PRIu64
-                   " stale=%" PRIu64 ")\n",
-                   arch.c_str(), seed, inv.persistent_violations(),
-                   inv.persistent_loops, inv.persistent_black_holes,
-                   inv.persistent_stale_routes);
-      ++failures;
+    const AuditStats& audit = first.audit;
+    if (byz) {
+      table.add_row(
+          {arch,
+           Table::integer(static_cast<long long>(first.defense_rejections)),
+           Table::integer(static_cast<long long>(audit.hijacked_pairs)),
+           Table::integer(static_cast<long long>(audit.leaked_pairs)),
+           Table::integer(static_cast<long long>(audit.black_holed_pairs)),
+           Table::integer(static_cast<long long>(audit.collateral_pairs)),
+           Table::num(100.0 * audit.peak_pollution),
+           Table::num(100.0 * audit.final_pollution),
+           audit.contained() ? Table::num(audit.containment_ms) : "never",
+           Table::integer(
+               static_cast<long long>(inv.persistent_violations()))});
+    } else {
+      table.add_row(
+          {arch, Table::integer(static_cast<long long>(first.link_failures)),
+           Table::integer(static_cast<long long>(first.node_crashes)),
+           Table::integer(static_cast<long long>(first.totals.msgs_corrupted)),
+           Table::integer(
+               static_cast<long long>(first.totals.msgs_duplicated)),
+           Table::integer(static_cast<long long>(first.totals.msgs_reordered)),
+           Table::integer(
+               static_cast<long long>(first.totals.malformed_dropped)),
+           Table::integer(static_cast<long long>(inv.probes)),
+           Table::integer(static_cast<long long>(inv.transient_violations())),
+           Table::integer(static_cast<long long>(inv.persistent_violations())),
+           inv.reconverge_ms.count() > 0
+               ? Table::num(inv.reconverge_ms.median())
+               : "-"});
     }
+
     if (first.counter_fingerprint != second.counter_fingerprint) {
       std::fprintf(stderr,
                    "FAIL [%s seed %" PRIu64
@@ -81,17 +174,49 @@ int run_seed(std::uint64_t seed, double horizon_ms) {
                    second.counter_fingerprint);
       ++failures;
     }
-    if (first.node_crashes == 0 || first.totals.msgs_corrupted == 0 ||
-        first.totals.msgs_duplicated == 0 ||
-        first.totals.msgs_reordered == 0) {
-      std::fprintf(stderr,
-                   "FAIL [%s seed %" PRIu64
-                   "]: vacuous soak (crashes=%zu corrupt=%" PRIu64
-                   " dup=%" PRIu64 " reorder=%" PRIu64 ")\n",
-                   arch.c_str(), seed, first.node_crashes,
-                   first.totals.msgs_corrupted, first.totals.msgs_duplicated,
-                   first.totals.msgs_reordered);
-      ++failures;
+    if (!byz) {
+      if (inv.persistent_violations() != 0) {
+        std::fprintf(stderr,
+                     "FAIL [%s seed %" PRIu64
+                     "]: %" PRIu64 " persistent invariant violations "
+                     "(loops=%" PRIu64 " black holes=%" PRIu64
+                     " stale=%" PRIu64 ")\n",
+                     arch.c_str(), seed, inv.persistent_violations(),
+                     inv.persistent_loops, inv.persistent_black_holes,
+                     inv.persistent_stale_routes);
+        ++failures;
+      }
+      if (first.node_crashes == 0 || first.totals.msgs_corrupted == 0 ||
+          first.totals.msgs_duplicated == 0 ||
+          first.totals.msgs_reordered == 0) {
+        std::fprintf(stderr,
+                     "FAIL [%s seed %" PRIu64
+                     "]: vacuous soak (crashes=%zu corrupt=%" PRIu64
+                     " dup=%" PRIu64 " reorder=%" PRIu64 ")\n",
+                     arch.c_str(), seed, first.node_crashes,
+                     first.totals.msgs_corrupted,
+                     first.totals.msgs_duplicated,
+                     first.totals.msgs_reordered);
+        ++failures;
+      }
+    } else if (opts.defended) {
+      if (!audit.contained() || audit.final_pollution != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL [%s seed %" PRIu64
+                     "]: defended Byzantine run not contained "
+                     "(containment=%.1f ms, final pollution=%.4f)\n",
+                     arch.c_str(), seed, audit.containment_ms,
+                     audit.final_pollution);
+        ++failures;
+      }
+      if (inv.persistent_violations() != 0) {
+        std::fprintf(stderr,
+                     "FAIL [%s seed %" PRIu64
+                     "]: defended Byzantine run left %" PRIu64
+                     " persistent invariant violations\n",
+                     arch.c_str(), seed, inv.persistent_violations());
+        ++failures;
+      }
     }
   }
   std::printf("%s\n", table.render().c_str());
@@ -101,28 +226,60 @@ int run_seed(std::uint64_t seed, double horizon_ms) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = 1;
-  double horizon_ms = 10'000.0;
-  int runs = 1;
+  SoakOptions opts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
-      horizon_ms = std::strtod(argv[++i], nullptr);
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if ((std::strcmp(argv[i], "--duration-ms") == 0 ||
+                std::strcmp(argv[i], "--horizon-ms") == 0) &&
+               i + 1 < argc) {
+      opts.duration_ms = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
-      runs = std::atoi(argv[++i]);
+      opts.runs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--byzantine") == 0 && i + 1 < argc) {
+      opts.byzantine = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--defended") == 0) {
+      opts.defended = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--seed N] [--horizon-ms T] [--runs K]\n",
+                   "usage: %s [--seed N] [--duration-ms T] [--runs K] "
+                   "[--byzantine N] [--defended] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
   }
 
   int failures = 0;
-  for (int r = 0; r < runs; ++r) {
-    failures += run_seed(seed + static_cast<std::uint64_t>(r), horizon_ms);
+  std::vector<ChaosResult> report;
+  for (int r = 0; r < opts.runs; ++r) {
+    failures += run_seed(opts, opts.seed + static_cast<std::uint64_t>(r),
+                         report);
   }
+
+  if (!opts.json_path.empty()) {
+    std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "chaos_soak: cannot write %s\n",
+                   opts.json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n  \"seed\": %" PRIu64
+                 ",\n  \"runs\": %d,\n  \"duration_ms\": %.1f,\n"
+                 "  \"byzantine\": %zu,\n  \"defended\": %s,\n"
+                 "  \"failures\": %d,\n  \"results\": [\n",
+                 opts.seed, opts.runs, opts.duration_ms, opts.byzantine,
+                 opts.defended ? "true" : "false", failures);
+    for (std::size_t i = 0; i < report.size(); ++i) {
+      json_escape_free_run(f, report[i], i + 1 == report.size());
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("chaos_soak: wrote %s\n", opts.json_path.c_str());
+  }
+
   if (failures != 0) {
     std::fprintf(stderr, "chaos_soak: %d failure(s)\n", failures);
     return 1;
