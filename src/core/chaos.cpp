@@ -2,175 +2,19 @@
 
 #include <algorithm>
 #include <memory>
-#include <queue>
 #include <utility>
 
-#include "core/synthesis.hpp"
+#include "core/design_harness.hpp"
 #include "policy/generator.hpp"
-#include "proto/ecma/ecma_node.hpp"
 #include "proto/ecma/partial_order.hpp"
-#include "proto/idrp/idrp_node.hpp"
-#include "proto/lshh/lshh_node.hpp"
-#include "proto/orwg/orwg_node.hpp"
 #include "sim/failure.hpp"
 #include "topology/figure1.hpp"
 #include "util/check.hpp"
 
 namespace idr {
-namespace {
-
-bool is_stub_role(const Topology& topo, AdId ad) {
-  const AdRole role = topo.ad(ad).role;
-  return role == AdRole::kStub || role == AdRole::kMultiHomed;
-}
-
-std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
-  h ^= v;
-  return h * 0x100000001b3ULL;
-}
-
-// Hop-by-hop probe walk shared by the FIB-driven design points. `next_fn`
-// asks the node currently holding the packet for its successor; a crashed
-// node on the way (or no forwarding choice) is a black hole, a revisited
-// AD is a loop. A transit AD that is quarantined or actively dropping
-// traffic toward dst (Byzantine black hole / hijack) swallows the packet:
-// the walk records the control plane's choice, the drop is the data
-// plane's fate.
-template <typename NextFn>
-Probe walk_probe(const Network& net, const Topology& topo, AdId src,
-                 AdId dst, NextFn&& next_fn) {
-  Probe probe;
-  probe.path.push_back(src);
-  std::vector<bool> seen(topo.ad_count(), false);
-  seen[src.v] = true;
-  AdId cur = src;
-  while (cur != dst) {
-    if (cur != src &&
-        (net.is_quarantined(cur) || net.drops_traffic(cur, dst))) {
-      probe.outcome = ProbeOutcome::kBlackHole;
-      return probe;
-    }
-    const std::optional<AdId> next = next_fn(cur, probe.path);
-    if (!next) {
-      probe.outcome = ProbeOutcome::kBlackHole;
-      return probe;
-    }
-    if (seen[next->v] || probe.path.size() > topo.ad_count()) {
-      probe.outcome = ProbeOutcome::kLooped;
-      return probe;
-    }
-    seen[next->v] = true;
-    probe.path.push_back(*next);
-    cur = *next;
-  }
-  probe.outcome = ProbeOutcome::kDelivered;
-  return probe;
-}
-
-// A node the ground-truth oracles must route around. Two notions:
-//
-//   * quarantine_only = false (the invariant monitor's view): also skip
-//     ADs actively swallowing traffic toward this destination -- no
-//     protocol can be blamed for failing to route through a Byzantine
-//     black hole it has no way to detect;
-//   * quarantine_only = true (the auditor's view): skip only quarantined
-//     ADs. Blast radius must count pairs an active dropper breaks, so
-//     "honest reachability" pretends the misbehaving AD would have
-//     forwarded -- until containment administratively removes it.
-//
-// Misbehaving-but-forwarding ADs (leak, tamper) are never excluded:
-// ground truth holds them to their registered policy, which is exactly
-// what the defended protocols converge to.
-bool unusable_for(const Network& net, AdId ad, AdId dst,
-                  bool quarantine_only) {
-  if (net.is_quarantined(ad)) return true;
-  return !quarantine_only && net.drops_traffic(ad, dst);
-}
-
-// Ground truth for ECMA: a destination is reachable only over an up*down*
-// shaped walk (paper §5.1.1) through ADs willing to transit, between live
-// nodes over live links. BFS over (AD, gone-down) states.
-bool ecma_reachable(const Network& net, const Topology& topo,
-                    const PartialOrder& order, AdId src, AdId dst,
-                    bool quarantine_only = false) {
-  const std::size_t n = topo.ad_count();
-  std::vector<bool> seen(n * 2, false);
-  std::queue<std::pair<AdId, bool>> queue;
-  queue.emplace(src, false);
-  seen[src.v * 2] = true;
-  while (!queue.empty()) {
-    const auto [cur, gone_down] = queue.front();
-    queue.pop();
-    if (cur == dst) return true;
-    if (cur != src) {
-      // Transit shaping mirrors the ECMA adapter: stub/multi-homed ADs
-      // never transit; hybrids transit only toward their own neighbors.
-      if (is_stub_role(topo, cur)) continue;
-      if (topo.ad(cur).role == AdRole::kHybrid &&
-          !topo.find_link(cur, dst)) {
-        continue;
-      }
-    }
-    for (const Adjacency& adj : topo.live_neighbors(cur)) {
-      if (!net.alive(adj.neighbor)) continue;
-      if (unusable_for(net, adj.neighbor, dst, quarantine_only)) continue;
-      const bool hop_is_up = order.is_up(cur, adj.neighbor);
-      if (gone_down && hop_is_up) continue;  // up after down: illegal shape
-      const bool next_gone_down = gone_down || !hop_is_up;
-      const std::size_t state = adj.neighbor.v * 2 + (next_gone_down ? 1 : 0);
-      if (!seen[state]) {
-        seen[state] = true;
-        queue.emplace(adj.neighbor, next_gone_down);
-      }
-    }
-  }
-  return false;
-}
-
-// Ground truth for the policy-term design points: a route exists iff the
-// synthesis oracle finds one over the live topology and real policy
-// database, avoiding crashed ADs.
-bool policy_reachable(const Network& net, const Topology& topo,
-                      const PolicySet& policies, AdId src, AdId dst,
-                      bool quarantine_only = false) {
-  FlowSpec flow;
-  flow.src = src;
-  flow.dst = dst;
-  SynthesisOptions options;
-  options.first_found = true;
-  options.expansion_budget = 200'000;
-  for (const Ad& ad : topo.ads()) {
-    if (!net.alive(ad.id) || unusable_for(net, ad.id, dst, quarantine_only)) {
-      options.avoid.push_back(ad.id);
-    }
-  }
-  const GroundTruthView view(topo, policies);
-  return synthesize_route(view, flow, options).found();
-}
-
-std::uint64_t counter_fingerprint(const Network& net, const Topology& topo) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const Ad& ad : topo.ads()) {
-    const Counters& c = net.counters(ad.id);
-    h = fnv_mix(h, c.msgs_sent);
-    h = fnv_mix(h, c.bytes_sent);
-    h = fnv_mix(h, c.msgs_delivered);
-    h = fnv_mix(h, c.msgs_dropped);
-    h = fnv_mix(h, c.msgs_corrupted);
-    h = fnv_mix(h, c.msgs_duplicated);
-    h = fnv_mix(h, c.msgs_reordered);
-    h = fnv_mix(h, c.malformed_dropped);
-    h = fnv_mix(h, c.defense_rejections);
-  }
-  return h;
-}
-
-}  // namespace
 
 const std::vector<std::string>& chaos_design_points() {
-  static const std::vector<std::string> kPoints = {"ecma", "idrp", "ls-hbh",
-                                                   "orwg"};
-  return kPoints;
+  return design_point_names();
 }
 
 ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
@@ -239,54 +83,16 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
 
   // --- per-design-point node factory (also used for cold restarts) ----
   OrderResult order;
-  Network::NodeFactory factory;
   if (arch == "ecma") {
     order = compute_partial_order(topo, {});
     IDR_CHECK_MSG(order.ok, "structural ordering conflict on Figure 1");
-    factory = [&topo, &order, &params,
-               defended](AdId ad) -> std::unique_ptr<Node> {
-      EcmaConfig config;
-      config.stub = is_stub_role(topo, ad);
-      config.receiver_order_check = defended;
-      if (topo.ad(ad).role == AdRole::kHybrid) {
-        for (const Adjacency& adj : topo.neighbors(ad)) {
-          config.export_dsts.insert(adj.neighbor.v);
-        }
-      }
-      auto node = std::make_unique<EcmaNode>(&order.order, std::move(config));
-      node->set_periodic_refresh(params.periodic_refresh_ms);
-      return node;
-    };
-  } else if (arch == "idrp") {
-    factory = [&policies, &params, defended](AdId) -> std::unique_ptr<Node> {
-      IdrpConfig config;
-      config.defend = defended;
-      auto node = std::make_unique<IdrpNode>(&policies, config);
-      node->set_periodic_refresh(params.periodic_refresh_ms);
-      return node;
-    };
-  } else if (arch == "ls-hbh") {
-    factory = [&policies, &params, &lsa_keys,
-               defended](AdId) -> std::unique_ptr<Node> {
-      LshhConfig config;
-      config.lsa_keys = defended ? &lsa_keys : nullptr;
-      config.registry = defended ? &policies : nullptr;
-      auto node = std::make_unique<LshhNode>(&policies, config);
-      node->set_periodic_refresh(params.periodic_refresh_ms);
-      return node;
-    };
-  } else if (arch == "orwg") {
-    factory = [&policies, &params, &lsa_keys,
-               defended](AdId) -> std::unique_ptr<Node> {
-      OrwgConfig config;
-      config.periodic_refresh_ms = params.periodic_refresh_ms;
-      config.lsa_keys = defended ? &lsa_keys : nullptr;
-      config.route_server.registry = defended ? &policies : nullptr;
-      return std::make_unique<OrwgNode>(&policies, config);
-    };
-  } else {
-    IDR_CHECK_MSG(false, "unknown chaos design point");
   }
+  HarnessConfig harness;
+  harness.defended = defended;
+  harness.periodic_refresh_ms = params.periodic_refresh_ms;
+  harness.lsa_keys = &lsa_keys;
+  Network::NodeFactory factory =
+      make_design_factory(arch, topo, policies, &order, harness);
 
   net.set_node_factory(factory);
   for (const Ad& ad : topo.ads()) net.attach(ad.id, factory(ad.id));
@@ -307,87 +113,10 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   net.start_all();
 
   // --- probe + ground truth -------------------------------------------
-  InvariantMonitor::ProbeFn probe;
-  if (arch == "ecma") {
-    probe = [&net, &topo](AdId src, AdId dst) {
-      bool gone_down = false;
-      return walk_probe(
-          net, topo, src, dst,
-          [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
-            auto* node = static_cast<EcmaNode*>(net.node(cur));
-            if (!node) return std::nullopt;  // walked into a crashed AD
-            const auto fwd = node->forward(dst, Qos::kDefault, gone_down);
-            if (!fwd) return std::nullopt;
-            gone_down = gone_down || fwd->sets_gone_down;
-            return fwd->via;
-          });
-    };
-  } else if (arch == "idrp") {
-    probe = [&net, &topo](AdId src, AdId dst) {
-      FlowSpec flow;
-      flow.src = src;
-      flow.dst = dst;
-      return walk_probe(
-          net, topo, src, dst,
-          [&](AdId cur,
-              const std::vector<AdId>& path) -> std::optional<AdId> {
-            auto* node = static_cast<IdrpNode*>(net.node(cur));
-            if (!node) return std::nullopt;
-            const AdId prev =
-                path.size() >= 2 ? path[path.size() - 2] : kNoAd;
-            return node->forward(flow, prev);
-          });
-    };
-  } else if (arch == "ls-hbh") {
-    probe = [&net, &topo](AdId src, AdId dst) {
-      FlowSpec flow;
-      flow.src = src;
-      flow.dst = dst;
-      return walk_probe(
-          net, topo, src, dst,
-          [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
-            auto* node = static_cast<LshhNode*>(net.node(cur));
-            if (!node) return std::nullopt;
-            return node->forward(flow);
-          });
-    };
-  } else {  // orwg: source-routed, the route server answers at the source
-    probe = [&net](AdId src, AdId dst) {
-      Probe p;
-      auto* node = static_cast<OrwgNode*>(net.node(src));
-      if (!node) return p;  // monitor skips dead endpoints anyway
-      FlowSpec flow;
-      flow.src = src;
-      flow.dst = dst;
-      auto path = node->policy_route(flow);
-      if (!path) {
-        p.path.push_back(src);
-        return p;  // kBlackHole
-      }
-      p.path = std::move(*path);
-      // The setup would succeed, but a quarantined or traffic-dropping
-      // AD on the source route swallows the data packets.
-      for (std::size_t i = 1; i + 1 < p.path.size(); ++i) {
-        if (net.is_quarantined(p.path[i]) ||
-            net.drops_traffic(p.path[i], dst)) {
-          return p;  // kBlackHole
-        }
-      }
-      p.outcome = ProbeOutcome::kDelivered;
-      return p;
-    };
-  }
-
-  InvariantMonitor::ReachableFn reachable;
-  if (arch == "ecma") {
-    reachable = [&net, &topo, &order](AdId src, AdId dst) {
-      return ecma_reachable(net, topo, order.order, src, dst);
-    };
-  } else {
-    reachable = [&net, &topo, &policies](AdId src, AdId dst) {
-      return policy_reachable(net, topo, policies, src, dst);
-    };
-  }
+  InvariantMonitor::ProbeFn probe =
+      make_pair_probe(make_design_probe(arch, net, topo));
+  InvariantMonitor::ReachableFn reachable =
+      make_design_reachable(arch, net, topo, policies, &order);
 
   InvariantMonitor monitor(net, params.invariants, probe);
   monitor.set_reachable_fn(reachable);
@@ -397,58 +126,16 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   // --- policy-compliance auditor (Byzantine runs only) ----------------
   std::unique_ptr<PolicyComplianceAuditor> auditor;
   if (!byz_schedule.empty()) {
-    PolicyComplianceAuditor::ComplianceFn compliant;
-    if (arch == "ecma") {
-      // ECMA's policy is structural: the delivered walk must be up*down*
-      // shaped and every intermediate must be transit-willing (mirrors
-      // ecma_reachable's shaping).
-      compliant = [&topo, &order](AdId, AdId dst,
-                                  const std::vector<AdId>& path) {
-        bool gone_down = false;
-        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
-          const AdId cur = path[i];
-          if (i > 0) {
-            if (is_stub_role(topo, cur)) return false;
-            if (topo.ad(cur).role == AdRole::kHybrid &&
-                !topo.find_link(cur, dst)) {
-              return false;
-            }
-          }
-          const bool up = order.order.is_up(cur, path[i + 1]);
-          if (gone_down && up) return false;
-          if (!up) gone_down = true;
-        }
-        return true;
-      };
-    } else {
-      compliant = [&topo, &policies](AdId src, AdId dst,
-                                     const std::vector<AdId>& path) {
-        FlowSpec flow;
-        flow.src = src;
-        flow.dst = dst;
-        return policies.path_is_legal(topo, flow, path);
-      };
-    }
     // Pollution is measured against what SHOULD be reachable: the
     // topology with every AD behaving (droppers included), minus
     // anything containment already quarantined.
-    InvariantMonitor::ReachableFn honest_reachable;
-    if (arch == "ecma") {
-      honest_reachable = [&net, &topo, &order](AdId src, AdId dst) {
-        return ecma_reachable(net, topo, order.order, src, dst,
-                              /*quarantine_only=*/true);
-      };
-    } else {
-      honest_reachable = [&net, &topo, &policies](AdId src, AdId dst) {
-        return policy_reachable(net, topo, policies, src, dst,
-                                /*quarantine_only=*/true);
-      };
-    }
     AuditConfig audit_config = params.audit;
     audit_config.onset_ms = params.byzantine.onset_ms;
     auditor = std::make_unique<PolicyComplianceAuditor>(
-        net, audit_config, probe, std::move(honest_reachable),
-        std::move(compliant));
+        net, audit_config, probe,
+        make_design_reachable(arch, net, topo, policies, &order,
+                              /*quarantine_only=*/true),
+        make_design_compliance(arch, topo, policies, &order));
     auditor->start(params.horizon_ms);
   }
 

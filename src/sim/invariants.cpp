@@ -6,6 +6,23 @@
 
 namespace idr {
 
+const char* to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kLoop: return "loop";
+    case InvariantKind::kBlackHole: return "black-hole";
+    case InvariantKind::kStaleRoute: return "stale-route";
+  }
+  return "?";
+}
+
+std::vector<InvariantFinding> InvariantMonitor::persistent_findings() const {
+  std::vector<InvariantFinding> out;
+  for (const InvariantFinding& f : findings_) {
+    if (f.persistent) out.push_back(f);
+  }
+  return out;
+}
+
 InvariantMonitor::InvariantMonitor(Network& net, InvariantConfig config,
                                    ProbeFn probe)
     : net_(net),
@@ -83,12 +100,32 @@ void InvariantMonitor::sweep() {
   std::uint64_t violations = 0;
   // Each persistent (src, dst, kind) counts once for the run: re-observing
   // the same broken pair on every sweep would make soak logs unbounded.
-  auto persistent_once = [&](AdId src, AdId dst, std::uint64_t kind,
-                             std::uint64_t& counter) {
-    const std::uint64_t key = (kind << 56) |
+  auto record = [&](InvariantKind kind, AdId src, AdId dst,
+                    const Probe& probe, bool persistent) {
+    if (!persistent) {
+      if (!config_.record_transient_findings ||
+          findings_.size() >= config_.max_transient_findings) {
+        return;
+      }
+    }
+    InvariantFinding finding;
+    finding.kind = kind;
+    finding.persistent = persistent;
+    finding.src = src;
+    finding.dst = dst;
+    finding.path = probe.path;
+    finding.at_ms = now;
+    findings_.push_back(std::move(finding));
+  };
+  auto persistent_once = [&](AdId src, AdId dst, InvariantKind kind,
+                             const Probe& probe, std::uint64_t& counter) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(kind) << 56) |
                               (static_cast<std::uint64_t>(src.v) << 28) |
                               static_cast<std::uint64_t>(dst.v);
-    if (persistent_seen_.insert(key).second) ++counter;
+    if (persistent_seen_.insert(key).second) {
+      ++counter;
+      record(kind, src, dst, probe, /*persistent=*/true);
+    }
   };
   auto classify = [&](AdId src, AdId dst) {
     if (!net_.alive(src) || !net_.alive(dst)) return;  // no one to ask
@@ -103,18 +140,22 @@ void InvariantMonitor::sweep() {
       case ProbeOutcome::kLooped:
         ++violations;
         if (settled) {
-          persistent_once(src, dst, 0, stats_.persistent_loops);
+          persistent_once(src, dst, InvariantKind::kLoop, probe,
+                          stats_.persistent_loops);
         } else {
           ++stats_.transient_loops;
+          record(InvariantKind::kLoop, src, dst, probe, false);
         }
         break;
       case ProbeOutcome::kBlackHole:
         if (reachable) {
           ++violations;
           if (settled) {
-            persistent_once(src, dst, 1, stats_.persistent_black_holes);
+            persistent_once(src, dst, InvariantKind::kBlackHole, probe,
+                            stats_.persistent_black_holes);
           } else {
             ++stats_.transient_black_holes;
+            record(InvariantKind::kBlackHole, src, dst, probe, false);
           }
         }
         break;
@@ -122,9 +163,11 @@ void InvariantMonitor::sweep() {
         if (!path_is_fresh(probe.path)) {
           ++violations;
           if (settled) {
-            persistent_once(src, dst, 2, stats_.persistent_stale_routes);
+            persistent_once(src, dst, InvariantKind::kStaleRoute, probe,
+                            stats_.persistent_stale_routes);
           } else {
             ++stats_.transient_stale_routes;
+            record(InvariantKind::kStaleRoute, src, dst, probe, false);
           }
         }
         break;

@@ -49,6 +49,28 @@ struct Probe {
   std::vector<AdId> path;  // hops visited, starting at src
 };
 
+// What a sweep found wrong with one (src, dst) pair.
+enum class InvariantKind : std::uint8_t {
+  kLoop = 0,        // forwarding walk revisited an AD
+  kBlackHole = 1,   // walk gave up although ground truth has a route
+  kStaleRoute = 2,  // delivered over a down link or through a dead AD
+};
+
+[[nodiscard]] const char* to_string(InvariantKind kind);
+
+// A structured violation record: the offending pair plus the forwarding
+// walk that exhibited it, so shrinkers and tests can key on (kind, src,
+// dst, path) instead of parsing log strings. Persistent findings are
+// deduplicated exactly like the persistent counters.
+struct InvariantFinding {
+  InvariantKind kind = InvariantKind::kLoop;
+  bool persistent = false;
+  AdId src;
+  AdId dst;
+  std::vector<AdId> path;  // hops the probe walked, starting at src
+  SimTime at_ms = 0.0;     // sweep time that first observed it
+};
+
 struct InvariantConfig {
   SimTime cadence_ms = 50.0;
   // Violations within this window after the latest fault are transient.
@@ -56,6 +78,11 @@ struct InvariantConfig {
   // (src, dst) pairs sampled per sweep; 0 = probe every ordered pair.
   std::size_t sample_pairs = 64;
   std::uint64_t sample_seed = 0x5eedf00dULL;
+  // Also keep InvariantFinding records for transient violations (capped
+  // at max_transient_findings). Persistent findings are always recorded
+  // (they are deduped, so bounded by pairs x kinds).
+  bool record_transient_findings = false;
+  std::size_t max_transient_findings = 256;
 };
 
 struct InvariantStats {
@@ -108,6 +135,17 @@ class InvariantMonitor {
     return stats_;
   }
 
+  // Structured violation records (persistent ones always; transient ones
+  // when configured). Ordered by observation time.
+  [[nodiscard]] const std::vector<InvariantFinding>& findings()
+      const noexcept {
+    return findings_;
+  }
+
+  // Persistent findings only (the ones that outlived the reconvergence
+  // window) -- what shrinker predicates and test assertions key on.
+  [[nodiscard]] std::vector<InvariantFinding> persistent_findings() const;
+
  private:
   [[nodiscard]] bool default_reachable(AdId src, AdId dst) const;
   [[nodiscard]] bool path_is_fresh(const std::vector<AdId>& path) const;
@@ -124,6 +162,7 @@ class InvariantMonitor {
   bool awaiting_clean_sweep_ = false;
   // (src, dst, kind) triples already counted as persistent.
   std::unordered_set<std::uint64_t> persistent_seen_;
+  std::vector<InvariantFinding> findings_;
 };
 
 // --- Policy-compliance auditing under Byzantine faults ----------------

@@ -1,0 +1,144 @@
+#include "simtest/scenario_generator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "policy/generator.hpp"
+#include "topology/generator.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+
+SimCase generate_sim_case(const SimCaseParams& params) {
+  SimCase c;
+  c.name = "seed-" + std::to_string(params.seed);
+  c.seed = params.seed;
+  c.horizon_ms = params.horizon_ms;
+
+  // Independent streams per dimension: adding one more crash event must
+  // not reshuffle the topology of the next seed's world.
+  std::uint64_t topo_state = params.seed ^ 0x746f706fULL;     // "topo"
+  std::uint64_t policy_state = params.seed ^ 0x706f6c69ULL;   // "poli"
+  std::uint64_t flow_state = params.seed ^ 0x666c6f77ULL;     // "flow"
+  std::uint64_t sched_state = params.seed ^ 0x7363686dULL;    // "schm"
+  std::uint64_t fault_state = params.seed ^ 0x66617565ULL;    // "faue"
+
+  // --- topology ---------------------------------------------------------
+  Prng topo_prng(splitmix64(topo_state));
+  const std::uint32_t span = params.max_ads >= params.min_ads
+                                 ? params.max_ads - params.min_ads + 1
+                                 : 1;
+  const std::uint32_t target =
+      params.min_ads + static_cast<std::uint32_t>(topo_prng.below(span));
+  c.topo = generate_topology_of_size(std::max(8u, target), topo_prng);
+
+  // --- policies ---------------------------------------------------------
+  Prng policy_prng(splitmix64(policy_state));
+  RestrictionParams restrict;
+  restrict.restrict_prob = params.restrict_prob;
+  restrict.source_selectivity = params.source_selectivity;
+  c.policies = make_restricted_policies(
+      c.topo, make_provider_customer_policies(c.topo), restrict, policy_prng);
+  if (policy_prng.bernoulli(params.aup_prob)) {
+    for (const Ad& ad : c.topo.ads()) {
+      if (ad.cls == AdClass::kBackbone) {
+        apply_aup(c.policies, ad.id);
+        break;
+      }
+    }
+  }
+  add_source_avoidance(c.topo, c.policies, params.avoid_fraction, policy_prng);
+
+  // --- flows ------------------------------------------------------------
+  Prng flow_prng(splitmix64(flow_state));
+  c.flows = sample_flows(c.topo, params.flow_count, flow_prng);
+
+  // --- message-fault intensity ------------------------------------------
+  Prng fault_prng(splitmix64(fault_state));
+  c.duplicate_rate = fault_prng.uniform01() * params.max_duplicate_rate;
+  c.reorder_rate = fault_prng.uniform01() * params.max_reorder_rate;
+
+  // --- scripted schedule ------------------------------------------------
+  Prng sched_prng(splitmix64(sched_state));
+  const SimTime churn_begin = 0.1 * params.horizon_ms;
+  const SimTime churn_end = params.churn_fraction * params.horizon_ms;
+  auto churn_time = [&] {
+    return churn_begin + sched_prng.uniform01() * (churn_end - churn_begin);
+  };
+
+  const std::uint32_t link_events =
+      params.max_link_events == 0
+          ? 0
+          : static_cast<std::uint32_t>(
+                sched_prng.below(params.max_link_events + 1));
+  for (std::uint32_t i = 0; i < link_events && c.topo.link_count() > 0; ++i) {
+    const Link& link =
+        c.topo.links()[sched_prng.below(c.topo.link_count())];
+    SimEvent e;
+    e.kind = SimEvent::Kind::kLinkDown;
+    e.at_ms = churn_time();
+    e.a = link.a;
+    e.b = link.b;
+    if (!sched_prng.bernoulli(params.permanent_failure_prob)) {
+      e.repair_ms =
+          e.at_ms + 100.0 + sched_prng.uniform01() * (churn_end - e.at_ms);
+    }
+    c.events.push_back(e);
+  }
+
+  const std::uint32_t crash_events =
+      params.max_crash_events == 0
+          ? 0
+          : static_cast<std::uint32_t>(
+                sched_prng.below(params.max_crash_events + 1));
+  for (std::uint32_t i = 0; i < crash_events; ++i) {
+    SimEvent e;
+    e.kind = SimEvent::Kind::kCrash;
+    e.at_ms = churn_time();
+    e.ad = AdId{static_cast<std::uint32_t>(sched_prng.below(
+        c.topo.ad_count()))};
+    // Crashed nodes always restart: a cold-started RIB rebuilt from
+    // scratch is the interesting case, a permanently dead node is just a
+    // smaller topology.
+    e.repair_ms =
+        e.at_ms + 150.0 + sched_prng.uniform01() * (churn_end - e.at_ms);
+    c.events.push_back(e);
+  }
+
+  if (sched_prng.bernoulli(params.byzantine_prob)) {
+    std::vector<AdId> transits;
+    std::vector<AdId> stubs;
+    for (const Ad& ad : c.topo.ads()) {
+      if (c.topo.can_transit(ad.id)) transits.push_back(ad.id);
+      else stubs.push_back(ad.id);
+    }
+    if (!transits.empty()) {
+      SimEvent e;
+      e.kind = SimEvent::Kind::kByzantine;
+      e.at_ms = churn_time();
+      e.ad = sched_prng.pick(transits);
+      static constexpr Misbehavior kTaxonomy[] = {
+          Misbehavior::kRouteLeak, Misbehavior::kFalseOrigin,
+          Misbehavior::kBlackHole, Misbehavior::kTamper};
+      e.misbehavior = kTaxonomy[sched_prng.below(4)];
+      if (e.misbehavior == Misbehavior::kFalseOrigin) {
+        if (stubs.empty()) {
+          e.misbehavior = Misbehavior::kRouteLeak;
+        } else {
+          e.victim = sched_prng.pick(stubs);
+        }
+      }
+      c.events.push_back(e);
+    }
+  }
+
+  std::stable_sort(c.events.begin(), c.events.end(),
+                   [](const SimEvent& x, const SimEvent& y) {
+                     return x.at_ms < y.at_ms;
+                   });
+  return c;
+}
+
+}  // namespace idr

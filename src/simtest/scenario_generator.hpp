@@ -1,0 +1,48 @@
+// Seeded SimCase generation: the front half of the deterministic
+// simulation-testing loop. One seed fans out (via independent splitmix64
+// streams) into a random topology, a random restricted policy mix, a
+// random flow sample and a random scripted churn / crash / Byzantine
+// schedule -- every dimension the paper's comparative claims range over.
+// The same seed always yields the byte-identical SimCase.
+#pragma once
+
+#include <cstdint>
+
+#include "simtest/simcase.hpp"
+
+namespace idr {
+
+struct SimCaseParams {
+  std::uint64_t seed = 1;
+
+  // Topology size range (uniform); generate_topology_of_size needs >= 8.
+  std::uint32_t min_ads = 10;
+  std::uint32_t max_ads = 28;
+
+  // Policy mix knobs (fed to make_restricted_policies).
+  double restrict_prob = 0.3;
+  double source_selectivity = 0.6;
+  double avoid_fraction = 0.15;
+  double aup_prob = 0.25;  // research-only AUP on the first backbone
+
+  // Flow sample size.
+  std::size_t flow_count = 24;
+
+  // Schedule shape. Events land in [0.1, churn_fraction] * horizon so a
+  // quiet tail remains for reconvergence before outcomes are read.
+  SimTime horizon_ms = 4000.0;
+  double churn_fraction = 0.5;
+  std::uint32_t max_link_events = 4;
+  std::uint32_t max_crash_events = 2;
+  double permanent_failure_prob = 0.3;  // link-down with no repair
+  double byzantine_prob = 0.25;         // chance of one Byzantine AD
+
+  // Message-fault intensity ceilings (rates drawn uniformly below these).
+  double max_duplicate_rate = 0.02;
+  double max_reorder_rate = 0.05;
+};
+
+// Deterministic in params (pure function of the seed and knobs).
+SimCase generate_sim_case(const SimCaseParams& params);
+
+}  // namespace idr

@@ -1,0 +1,589 @@
+#include "simtest/simcase.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "policy/dsl.hpp"
+#include "topology/parse.hpp"
+
+namespace idr {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+const char* event_keyword(SimEvent::Kind kind) {
+  switch (kind) {
+    case SimEvent::Kind::kLinkDown: return "link-down";
+    case SimEvent::Kind::kCrash: return "crash";
+    case SimEvent::Kind::kByzantine: return "byzantine";
+  }
+  return "?";
+}
+
+std::optional<Qos> qos_from(std::string_view s) {
+  for (std::uint8_t q = 0; q < kQosCount; ++q) {
+    if (s == to_string(static_cast<Qos>(q))) return static_cast<Qos>(q);
+  }
+  return std::nullopt;
+}
+
+std::optional<UserClass> uci_from(std::string_view s) {
+  for (std::uint8_t u = 0; u < kUserClassCount; ++u) {
+    if (s == to_string(static_cast<UserClass>(u))) {
+      return static_cast<UserClass>(u);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Misbehavior> misbehavior_from(std::string_view s) {
+  for (std::uint8_t m = 1; m <= 4; ++m) {
+    if (s == to_string(static_cast<Misbehavior>(m))) {
+      return static_cast<Misbehavior>(m);
+    }
+  }
+  return std::nullopt;
+}
+
+// One "key=value" token; returns false on malformed input.
+bool split_kv(std::string_view token, std::string_view& key,
+              std::string_view& value) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+struct KvScanner {
+  std::string* error;
+  bool parsed_double(std::string_view value, double& out) const {
+    char* end = nullptr;
+    const std::string owned(value);
+    out = std::strtod(owned.c_str(), &end);
+    if (end != owned.c_str() + owned.size()) {
+      *error = "bad number '" + owned + "'";
+      return false;
+    }
+    return true;
+  }
+  bool parsed_u64(std::string_view value, std::uint64_t& out) const {
+    char* end = nullptr;
+    const std::string owned(value);
+    out = std::strtoull(owned.c_str(), &end, 10);
+    if (end != owned.c_str() + owned.size()) {
+      *error = "bad integer '" + owned + "'";
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string format_sim_case(const SimCase& c) {
+  std::string out;
+  out += "case name=" + c.name + " seed=" + std::to_string(c.seed) +
+         " horizon-ms=" + fmt_double(c.horizon_ms) + "\n";
+  out += "faults duplicate=" + fmt_double(c.duplicate_rate) +
+         " reorder=" + fmt_double(c.reorder_rate) +
+         " reorder-extra-ms=" + fmt_double(c.reorder_extra_ms) +
+         " keepalive-ms=" + fmt_double(c.keepalive_interval_ms) +
+         " misses=" + std::to_string(c.keepalive_misses) +
+         " refresh-ms=" + fmt_double(c.periodic_refresh_ms) +
+         " detect-ms=" + fmt_double(c.detection_delay_ms) + "\n";
+  out += format_topology(c.topo);
+  out += format_policies(c.topo, c.policies);
+  for (const FlowSpec& flow : c.flows) {
+    out += "flow src=" + c.topo.ad(flow.src).name +
+           " dst=" + c.topo.ad(flow.dst).name + " qos=";
+    out += to_string(flow.qos);
+    out += " uci=";
+    out += to_string(flow.uci);
+    out += " hour=" + std::to_string(flow.hour) + "\n";
+  }
+  for (const SimEvent& e : c.events) {
+    out += "event ";
+    out += event_keyword(e.kind);
+    out += " at=" + fmt_double(e.at_ms);
+    switch (e.kind) {
+      case SimEvent::Kind::kLinkDown:
+        out += " a=" + c.topo.ad(e.a).name + " b=" + c.topo.ad(e.b).name +
+               " repair-ms=" + fmt_double(e.repair_ms);
+        break;
+      case SimEvent::Kind::kCrash:
+        out += " ad=" + c.topo.ad(e.ad).name +
+               " restart-ms=" + fmt_double(e.repair_ms);
+        break;
+      case SimEvent::Kind::kByzantine:
+        out += " ad=" + c.topo.ad(e.ad).name + " kind=";
+        out += to_string(e.misbehavior);
+        if (e.misbehavior == Misbehavior::kFalseOrigin) {
+          out += " victim=" + c.topo.ad(e.victim).name;
+        }
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+SimCaseParseResult parse_sim_case(std::string_view text) {
+  SimCase c;
+  bool saw_case = false;
+
+  // The topology and policy sections reuse the existing languages: their
+  // lines are collected verbatim and handed to parse_topology /
+  // parse_policies, remembering original line numbers for diagnostics.
+  std::string topo_text;
+  std::vector<std::size_t> topo_lines;
+  std::string policy_text;
+  std::vector<std::size_t> policy_lines;
+  struct Deferred {
+    std::size_t line;
+    std::string text;
+  };
+  std::vector<Deferred> flow_lines;
+  std::vector<Deferred> event_lines;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  std::string err;
+  const KvScanner scan{&err};
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string_view head = tokens[0];
+
+    auto fail = [&](std::string message) -> SimCaseParseResult {
+      return SimCaseParseError{line_no, std::move(message)};
+    };
+
+    if (head == "ad" || head == "link") {
+      topo_text.append(line);
+      topo_text += '\n';
+      topo_lines.push_back(line_no);
+      continue;
+    }
+    if (head == "term" || head == "source") {
+      policy_text.append(line);
+      policy_text += '\n';
+      policy_lines.push_back(line_no);
+      continue;
+    }
+    if (head == "flow") {
+      flow_lines.push_back({line_no, std::string(line)});
+      continue;
+    }
+    if (head == "event") {
+      event_lines.push_back({line_no, std::string(line)});
+      continue;
+    }
+    if (head == "case") {
+      saw_case = true;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string_view key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          return fail("expected key=value, got '" + std::string(tokens[i]) +
+                      "'");
+        }
+        if (key == "name") {
+          c.name = std::string(value);
+        } else if (key == "seed") {
+          std::uint64_t v;
+          if (!scan.parsed_u64(value, v)) return fail(err);
+          c.seed = v;
+        } else if (key == "horizon-ms") {
+          if (!scan.parsed_double(value, c.horizon_ms)) return fail(err);
+        } else {
+          return fail("unknown case attribute '" + std::string(key) + "'");
+        }
+      }
+      continue;
+    }
+    if (head == "faults") {
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        std::string_view key, value;
+        if (!split_kv(tokens[i], key, value)) {
+          return fail("expected key=value, got '" + std::string(tokens[i]) +
+                      "'");
+        }
+        double* dst = nullptr;
+        if (key == "duplicate") dst = &c.duplicate_rate;
+        else if (key == "reorder") dst = &c.reorder_rate;
+        else if (key == "reorder-extra-ms") dst = &c.reorder_extra_ms;
+        else if (key == "keepalive-ms") dst = &c.keepalive_interval_ms;
+        else if (key == "refresh-ms") dst = &c.periodic_refresh_ms;
+        else if (key == "detect-ms") dst = &c.detection_delay_ms;
+        if (dst != nullptr) {
+          if (!scan.parsed_double(value, *dst)) return fail(err);
+          continue;
+        }
+        if (key == "misses") {
+          std::uint64_t v;
+          if (!scan.parsed_u64(value, v)) return fail(err);
+          c.keepalive_misses = static_cast<std::uint32_t>(v);
+          continue;
+        }
+        return fail("unknown faults attribute '" + std::string(key) + "'");
+      }
+      continue;
+    }
+    return fail("unknown statement '" + std::string(head) + "'");
+  }
+
+  if (!saw_case) return SimCaseParseError{1, "missing 'case' header"};
+
+  TopoParseResult topo = parse_topology(topo_text);
+  if (const auto* e = std::get_if<TopoParseError>(&topo)) {
+    const std::size_t original =
+        e->line >= 1 && e->line <= topo_lines.size() ? topo_lines[e->line - 1]
+                                                     : 0;
+    return SimCaseParseError{original, e->message};
+  }
+  c.topo = std::move(std::get<Topology>(topo));
+
+  DslResult policies = parse_policies(c.topo, policy_text);
+  if (const auto* e = std::get_if<DslError>(&policies)) {
+    const std::size_t original = e->line >= 1 && e->line <= policy_lines.size()
+                                     ? policy_lines[e->line - 1]
+                                     : 0;
+    return SimCaseParseError{original, e->message};
+  }
+  c.policies = std::move(std::get<PolicySet>(policies));
+  if (c.policies.ad_count() < c.topo.ad_count()) {
+    c.policies.resize(c.topo.ad_count());
+  }
+
+  auto resolve = [&](std::string_view name, std::size_t line,
+                     AdId& out) -> std::optional<SimCaseParseError> {
+    const std::optional<AdId> id = find_ad_by_name(c.topo, name);
+    if (!id) {
+      return SimCaseParseError{line, "unknown AD '" + std::string(name) + "'"};
+    }
+    out = *id;
+    return std::nullopt;
+  };
+
+  for (const Deferred& d : flow_lines) {
+    FlowSpec flow;
+    bool have_src = false;
+    bool have_dst = false;
+    const std::vector<std::string_view> tokens = tokenize(d.text);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      std::string_view key, value;
+      if (!split_kv(tokens[i], key, value)) {
+        return SimCaseParseError{
+            d.line, "expected key=value, got '" + std::string(tokens[i]) + "'"};
+      }
+      if (key == "src") {
+        if (auto e = resolve(value, d.line, flow.src)) return *e;
+        have_src = true;
+      } else if (key == "dst") {
+        if (auto e = resolve(value, d.line, flow.dst)) return *e;
+        have_dst = true;
+      } else if (key == "qos") {
+        const auto q = qos_from(value);
+        if (!q) {
+          return SimCaseParseError{d.line,
+                                   "unknown qos '" + std::string(value) + "'"};
+        }
+        flow.qos = *q;
+      } else if (key == "uci") {
+        const auto u = uci_from(value);
+        if (!u) {
+          return SimCaseParseError{d.line,
+                                   "unknown uci '" + std::string(value) + "'"};
+        }
+        flow.uci = *u;
+      } else if (key == "hour") {
+        std::uint64_t v;
+        if (!scan.parsed_u64(value, v) || v > 23) {
+          return SimCaseParseError{d.line, "bad hour"};
+        }
+        flow.hour = static_cast<std::uint8_t>(v);
+      } else {
+        return SimCaseParseError{
+            d.line, "unknown flow attribute '" + std::string(key) + "'"};
+      }
+    }
+    if (!have_src || !have_dst) {
+      return SimCaseParseError{d.line, "flow needs src= and dst="};
+    }
+    c.flows.push_back(flow);
+  }
+
+  for (const Deferred& d : event_lines) {
+    const std::vector<std::string_view> tokens = tokenize(d.text);
+    if (tokens.size() < 2) {
+      return SimCaseParseError{d.line, "event needs a kind"};
+    }
+    SimEvent e;
+    const std::string_view kind = tokens[1];
+    if (kind == "link-down") e.kind = SimEvent::Kind::kLinkDown;
+    else if (kind == "crash") e.kind = SimEvent::Kind::kCrash;
+    else if (kind == "byzantine") e.kind = SimEvent::Kind::kByzantine;
+    else {
+      return SimCaseParseError{
+          d.line, "unknown event kind '" + std::string(kind) + "'"};
+    }
+    bool have_link_a = false;
+    bool have_link_b = false;
+    bool have_ad = false;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      std::string_view key, value;
+      if (!split_kv(tokens[i], key, value)) {
+        return SimCaseParseError{
+            d.line, "expected key=value, got '" + std::string(tokens[i]) + "'"};
+      }
+      if (key == "at") {
+        if (!scan.parsed_double(value, e.at_ms)) {
+          return SimCaseParseError{d.line, err};
+        }
+      } else if (key == "a") {
+        if (auto pe = resolve(value, d.line, e.a)) return *pe;
+        have_link_a = true;
+      } else if (key == "b") {
+        if (auto pe = resolve(value, d.line, e.b)) return *pe;
+        have_link_b = true;
+      } else if (key == "repair-ms" || key == "restart-ms") {
+        if (!scan.parsed_double(value, e.repair_ms)) {
+          return SimCaseParseError{d.line, err};
+        }
+      } else if (key == "ad") {
+        if (auto pe = resolve(value, d.line, e.ad)) return *pe;
+        have_ad = true;
+      } else if (key == "kind") {
+        const auto m = misbehavior_from(value);
+        if (!m) {
+          return SimCaseParseError{
+              d.line, "unknown misbehavior '" + std::string(value) + "'"};
+        }
+        e.misbehavior = *m;
+      } else if (key == "victim") {
+        if (auto pe = resolve(value, d.line, e.victim)) return *pe;
+      } else {
+        return SimCaseParseError{
+            d.line, "unknown event attribute '" + std::string(key) + "'"};
+      }
+    }
+    switch (e.kind) {
+      case SimEvent::Kind::kLinkDown:
+        if (!have_link_a || !have_link_b) {
+          return SimCaseParseError{d.line, "link-down needs a= and b="};
+        }
+        if (!c.topo.find_link(e.a, e.b)) {
+          return SimCaseParseError{d.line, "no such link"};
+        }
+        break;
+      case SimEvent::Kind::kCrash:
+        if (!have_ad) return SimCaseParseError{d.line, "crash needs ad="};
+        break;
+      case SimEvent::Kind::kByzantine:
+        if (!have_ad) {
+          return SimCaseParseError{d.line, "byzantine needs ad="};
+        }
+        if (e.misbehavior == Misbehavior::kNone) {
+          return SimCaseParseError{d.line, "byzantine needs kind="};
+        }
+        break;
+    }
+    c.events.push_back(e);
+  }
+
+  return c;
+}
+
+// --- shrinking reductions ----------------------------------------------
+
+namespace {
+
+// Copies everything except the structural members the caller rebuilds.
+SimCase clone_scalars(const SimCase& c) {
+  SimCase out;
+  out.name = c.name;
+  out.seed = c.seed;
+  out.horizon_ms = c.horizon_ms;
+  out.duplicate_rate = c.duplicate_rate;
+  out.reorder_rate = c.reorder_rate;
+  out.reorder_extra_ms = c.reorder_extra_ms;
+  out.keepalive_interval_ms = c.keepalive_interval_ms;
+  out.keepalive_misses = c.keepalive_misses;
+  out.periodic_refresh_ms = c.periodic_refresh_ms;
+  out.detection_delay_ms = c.detection_delay_ms;
+  return out;
+}
+
+AdSet remap_set(const AdSet& set, const std::vector<std::int64_t>& remap) {
+  if (set.is_any()) return AdSet::any();
+  std::vector<AdId> members;
+  for (const AdId m : set.members()) {
+    if (remap[m.v] >= 0) {
+      members.push_back(AdId{static_cast<std::uint32_t>(remap[m.v])});
+    }
+  }
+  return AdSet::of(std::move(members));
+}
+
+}  // namespace
+
+SimCase remove_ad(const SimCase& c, AdId victim) {
+  SimCase out = clone_scalars(c);
+
+  std::vector<std::int64_t> remap(c.topo.ad_count(), -1);
+  for (const Ad& ad : c.topo.ads()) {
+    if (ad.id == victim) continue;
+    remap[ad.id.v] = static_cast<std::int64_t>(
+        out.topo.add_ad(ad.cls, ad.role, ad.name).v);
+  }
+  auto mapped = [&](AdId old) {
+    return AdId{static_cast<std::uint32_t>(remap[old.v])};
+  };
+  for (const Link& l : c.topo.links()) {
+    if (l.a == victim || l.b == victim) continue;
+    out.topo.add_link(mapped(l.a), mapped(l.b), l.cls, l.delay_ms, l.metric);
+  }
+
+  out.policies.resize(out.topo.ad_count());
+  for (const Ad& ad : c.topo.ads()) {
+    if (ad.id == victim) continue;
+    for (const PolicyTerm& term : c.policies.terms(ad.id)) {
+      PolicyTerm t = term;
+      t.owner = mapped(term.owner);
+      t.sources = remap_set(term.sources, remap);
+      t.dests = remap_set(term.dests, remap);
+      t.prev_hops = remap_set(term.prev_hops, remap);
+      t.next_hops = remap_set(term.next_hops, remap);
+      out.policies.add_term(std::move(t));
+    }
+    const SourcePolicy& sp = c.policies.source_policy(ad.id);
+    SourcePolicy& nsp = out.policies.source_policy(mapped(ad.id));
+    nsp.max_hops = sp.max_hops;
+    nsp.prefer_min_cost = sp.prefer_min_cost;
+    for (const AdId a : sp.avoid) {
+      if (remap[a.v] >= 0) nsp.avoid.push_back(mapped(a));
+    }
+  }
+
+  for (const FlowSpec& flow : c.flows) {
+    if (flow.src == victim || flow.dst == victim) continue;
+    FlowSpec f = flow;
+    f.src = mapped(flow.src);
+    f.dst = mapped(flow.dst);
+    out.flows.push_back(f);
+  }
+
+  for (const SimEvent& e : c.events) {
+    SimEvent n = e;
+    switch (e.kind) {
+      case SimEvent::Kind::kLinkDown:
+        if (e.a == victim || e.b == victim) continue;
+        n.a = mapped(e.a);
+        n.b = mapped(e.b);
+        break;
+      case SimEvent::Kind::kCrash:
+        if (e.ad == victim) continue;
+        n.ad = mapped(e.ad);
+        break;
+      case SimEvent::Kind::kByzantine:
+        if (e.ad == victim) continue;
+        if (e.misbehavior == Misbehavior::kFalseOrigin && e.victim == victim) {
+          continue;  // hijack of a removed AD is meaningless
+        }
+        n.ad = mapped(e.ad);
+        if (e.misbehavior == Misbehavior::kFalseOrigin) {
+          n.victim = mapped(e.victim);
+        }
+        break;
+    }
+    out.events.push_back(n);
+  }
+  return out;
+}
+
+SimCase remove_link(const SimCase& c, AdId a, AdId b) {
+  SimCase out = clone_scalars(c);
+  for (const Ad& ad : c.topo.ads()) out.topo.add_ad(ad.cls, ad.role, ad.name);
+  for (const Link& l : c.topo.links()) {
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) continue;
+    out.topo.add_link(l.a, l.b, l.cls, l.delay_ms, l.metric);
+  }
+  out.policies = c.policies;
+  out.flows = c.flows;
+  for (const SimEvent& e : c.events) {
+    if (e.kind == SimEvent::Kind::kLinkDown &&
+        ((e.a == a && e.b == b) || (e.a == b && e.b == a))) {
+      continue;
+    }
+    out.events.push_back(e);
+  }
+  return out;
+}
+
+namespace {
+
+SimCase clone_structure(const SimCase& c) {
+  SimCase out = clone_scalars(c);
+  for (const Ad& ad : c.topo.ads()) out.topo.add_ad(ad.cls, ad.role, ad.name);
+  for (const Link& l : c.topo.links()) {
+    out.topo.add_link(l.a, l.b, l.cls, l.delay_ms, l.metric);
+  }
+  out.policies = c.policies;
+  out.flows = c.flows;
+  out.events = c.events;
+  return out;
+}
+
+}  // namespace
+
+SimCase with_terms(const SimCase& c, const std::vector<PolicyTerm>& terms) {
+  SimCase out = clone_structure(c);
+  for (const Ad& ad : c.topo.ads()) out.policies.clear_terms(ad.id);
+  for (const PolicyTerm& term : terms) out.policies.add_term(term);
+  return out;
+}
+
+SimCase with_flows(const SimCase& c, const std::vector<FlowSpec>& flows) {
+  SimCase out = clone_structure(c);
+  out.flows = flows;
+  return out;
+}
+
+SimCase with_events(const SimCase& c, const std::vector<SimEvent>& events) {
+  SimCase out = clone_structure(c);
+  out.events = events;
+  return out;
+}
+
+}  // namespace idr

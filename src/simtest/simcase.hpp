@@ -1,0 +1,128 @@
+// SimCase: one fully replayable simulation-testing world. A case bundles
+// everything a differential run needs -- topology, policy database, flow
+// sample, fault-model knobs and the scripted churn / crash / Byzantine
+// schedule -- into a single value with a textual serialization, so a
+// failing case can be shrunk, written to disk, attached to a bug report
+// and replayed bit-for-bit by a test.
+//
+// The format is line-oriented and keyword-discriminated, reusing the
+// repo's existing configuration languages verbatim for the two big
+// sections (topology/parse.hpp for `ad`/`link` lines, policy/dsl.hpp for
+// `term`/`source` lines):
+//
+//   case name=seed-42 seed=42 horizon-ms=4000
+//   faults duplicate=0.01 reorder=0.05 reorder-extra-ms=5
+//          keepalive-ms=30 misses=4 refresh-ms=300 detect-ms=150
+//   (one line; wrapped here for width)
+//   ad backbone-0 backbone transit
+//   link backbone-0 regional-2 hierarchical delay=10 metric=1
+//   term owner=regional-2 src=* dst=* ...
+//   source campus-7 avoid={backbone-1} max-hops=12
+//   flow src=campus-7 dst=campus-9 qos=default uci=research hour=12
+//   event link-down at=500 a=backbone-0 b=regional-2 repair-ms=900
+//   event crash at=800 ad=regional-3 restart-ms=1200
+//   event byzantine at=1000 ad=regional-2 kind=route-leak
+//
+// parse_sim_case(format_sim_case(c)) reproduces c, and re-serializing is
+// byte-identical (round-trip tested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "policy/database.hpp"
+#include "policy/flow.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/graph.hpp"
+
+namespace idr {
+
+// One scripted event in a SimCase schedule.
+struct SimEvent {
+  enum class Kind : std::uint8_t {
+    kLinkDown = 0,   // fail link (a, b) at at_ms; repair_ms 0 = never
+    kCrash = 1,      // crash `ad` at at_ms; restart at repair_ms (0 = never)
+    kByzantine = 2,  // `ad` starts misbehaving as `misbehavior` at at_ms
+  };
+
+  Kind kind = Kind::kLinkDown;
+  SimTime at_ms = 0.0;
+  AdId a;  // link endpoints (kLinkDown)
+  AdId b;
+  SimTime repair_ms = 0.0;  // absolute repair/restart time; 0 = permanent
+  AdId ad;                  // subject AD (kCrash, kByzantine)
+  Misbehavior misbehavior = Misbehavior::kNone;
+  AdId victim;  // false-origin hijack target; invalid otherwise
+
+  friend bool operator==(const SimEvent&, const SimEvent&) = default;
+};
+
+// A complete replayable world. Deterministic: running a SimCase twice
+// produces identical traces (the only randomness left -- duplicate /
+// reorder fault decisions -- is drawn from `seed`).
+struct SimCase {
+  std::string name;
+  std::uint64_t seed = 0;
+  SimTime horizon_ms = 4000.0;
+
+  // Message-fault model. Only duplication and reordering: both leave
+  // eventual delivery intact, so a quiescent network at the horizon is a
+  // protocol property, not luck.
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double reorder_extra_ms = 5.0;
+
+  // Liveness machinery (link notifications stay off; failures are
+  // detected the deployable way, by keepalive timeout + refresh).
+  SimTime keepalive_interval_ms = 30.0;
+  std::uint32_t keepalive_misses = 4;
+  SimTime periodic_refresh_ms = 300.0;
+  // Quarantine lag after a Byzantine onset (defenses are always armed).
+  SimTime detection_delay_ms = 150.0;
+
+  Topology topo;
+  PolicySet policies;
+  std::vector<FlowSpec> flows;
+  std::vector<SimEvent> events;  // sorted by at_ms on generation
+};
+
+struct SimCaseParseError {
+  std::size_t line = 0;  // 1-based
+  std::string message;
+
+  [[nodiscard]] std::string describe() const {
+    return "line " + std::to_string(line) + ": " + message;
+  }
+};
+
+using SimCaseParseResult = std::variant<SimCase, SimCaseParseError>;
+
+std::string format_sim_case(const SimCase& c);
+SimCaseParseResult parse_sim_case(std::string_view text);
+
+// --- shrinking support -------------------------------------------------
+//
+// Structural reductions used by the delta-debugging shrinker. Each
+// returns a new, self-consistent SimCase; they never mutate the input.
+
+// Removes one AD: drops its links, flows and events touching it, remaps
+// every surviving AdId (ids are dense), rewrites policy terms (dropping
+// terms owned by the victim, and pruning it from AdSets / avoid lists).
+[[nodiscard]] SimCase remove_ad(const SimCase& c, AdId victim);
+
+// Removes one link (and any link-down events scripted for it).
+[[nodiscard]] SimCase remove_link(const SimCase& c, AdId a, AdId b);
+
+// Rebuilds the case with a subset of policy terms / flows / events.
+[[nodiscard]] SimCase with_terms(const SimCase& c,
+                                 const std::vector<PolicyTerm>& terms);
+[[nodiscard]] SimCase with_flows(const SimCase& c,
+                                 const std::vector<FlowSpec>& flows);
+[[nodiscard]] SimCase with_events(const SimCase& c,
+                                  const std::vector<SimEvent>& events);
+
+}  // namespace idr

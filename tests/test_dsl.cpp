@@ -3,6 +3,7 @@
 #include "policy/dsl.hpp"
 #include "policy/generator.hpp"
 #include "topology/figure1.hpp"
+#include "topology/generator.hpp"
 
 namespace idr {
 namespace {
@@ -183,6 +184,54 @@ TEST_F(DslTest, WrappedHourWindowRoundTrips) {
 TEST_F(DslTest, FindAdByName) {
   EXPECT_EQ(find_ad_by_name(fig_.topo, "BB-West"), fig_.backbone_west);
   EXPECT_FALSE(find_ad_by_name(fig_.topo, "nope").has_value());
+}
+
+// Round-trip over *generated* policy databases, not just hand-written
+// figures: every restricted/AUP/avoid-list shape the scenario and simtest
+// generators emit must print to text that parses back to the same
+// database, and the printed form must be canonical (format o parse is the
+// identity on format's image, byte for byte).
+TEST(DslGenerated, RestrictedPoliciesRoundTripByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    SCOPED_TRACE(seed);
+    Prng prng(seed);
+    const Topology topo = generate_topology_of_size(32, prng);
+    RestrictionParams params;
+    params.restrict_prob = 0.5;
+    params.qos_restrict_prob = 0.4;
+    params.uci_restrict_prob = 0.4;
+    params.tod_restrict_prob = 0.4;
+    PolicySet policies = make_restricted_policies(
+        topo, make_provider_customer_policies(topo), params, prng);
+    for (const Ad& ad : topo.ads()) {
+      if (ad.cls == AdClass::kBackbone) {
+        apply_aup(policies, ad.id);
+        break;
+      }
+    }
+    add_source_avoidance(topo, policies, 0.3, prng);
+
+    const std::string text = format_policies(topo, policies);
+    DslResult parsed = parse_policies(topo, text);
+    ASSERT_TRUE(std::holds_alternative<PolicySet>(parsed))
+        << std::get<DslError>(parsed).describe();
+    const PolicySet& reparsed = std::get<PolicySet>(parsed);
+    EXPECT_EQ(format_policies(topo, reparsed), text);
+    for (const Ad& ad : topo.ads()) {
+      const auto a = policies.terms(ad.id);
+      const auto b = reparsed.terms(ad.id);
+      ASSERT_EQ(a.size(), b.size()) << ad.name;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << ad.name << " term " << i;
+      }
+      EXPECT_EQ(policies.source_policy(ad.id).avoid,
+                reparsed.source_policy(ad.id).avoid)
+          << ad.name;
+      EXPECT_EQ(policies.source_policy(ad.id).max_hops,
+                reparsed.source_policy(ad.id).max_hops)
+          << ad.name;
+    }
+  }
 }
 
 }  // namespace

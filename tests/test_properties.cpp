@@ -118,6 +118,24 @@ TEST_P(ScenarioSweep, OracleRoutesAreLegal) {
   }
 }
 
+// The sweeps above compare architectures against oracle.best_route()'s
+// found()/not-found answer, which silently degrades to "no route" if the
+// expansion budget runs out mid-search. Assert the tri-state explicitly:
+// on every sweep scenario (ads up to 96, restrict_prob up to 0.9) the
+// default budget must fully resolve every flow to kExists or kNone, so
+// the ground truth the other tests lean on is never a budget guess.
+TEST_P(ScenarioSweep, OracleBudgetResolvesEveryFlow) {
+  const Oracle oracle(scenario_.topo, scenario_.policies);
+  for (const FlowSpec& flow : scenario_.flows) {
+    EXPECT_NE(oracle.exists(flow), RouteExistence::kUnknown)
+        << "oracle budget exhausted: raise the default expansion budget";
+    const SynthesisResult best = oracle.best_route(flow);
+    EXPECT_NE(best.outcome, SynthesisOutcome::kBudget)
+        << "best_route() hit its budget; found()/missed counts in this "
+           "sweep would be guesses";
+  }
+}
+
 // Availability ordering (statistical form of Table 1's qualitative
 // ranking): ORWG >= LSHH and ORWG >= IDRP on every scenario.
 TEST_P(ScenarioSweep, AvailabilityOrderingHolds) {

@@ -1,0 +1,400 @@
+// Deterministic simulation testing: SimCase serialization round-trips,
+// same-seed determinism of the differential runner, detection and
+// shrinking of a seeded known-bad defect, structured invariant findings,
+// and replay of the golden reproducer corpus in data/simtest/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/invariants.hpp"
+#include "simtest/differential.hpp"
+#include "simtest/scenario_generator.hpp"
+#include "simtest/shrink.hpp"
+#include "simtest/simcase.hpp"
+
+namespace idr {
+namespace {
+
+std::string read_corpus(const std::string& name) {
+  const std::string path = std::string(IDR_DATA_DIR) + "/simtest/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << "missing corpus file " << path;
+  if (!f) return {};
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+SimCase parse_ok(const std::string& text) {
+  SimCaseParseResult parsed = parse_sim_case(text);
+  const auto* err = std::get_if<SimCaseParseError>(&parsed);
+  EXPECT_EQ(err, nullptr) << (err ? err->describe() : "");
+  if (err) return {};
+  return std::get<SimCase>(std::move(parsed));
+}
+
+bool has_signature(const DiffResult& result, const std::string& sig) {
+  const auto sigs = result.signatures();
+  return std::find(sigs.begin(), sigs.end(), sig) != sigs.end();
+}
+
+// --- serialization -----------------------------------------------------
+
+TEST(SimCaseFormat, RoundTripIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    SimCaseParams params;
+    params.seed = seed;
+    const SimCase original = generate_sim_case(params);
+    const std::string first = format_sim_case(original);
+    const SimCase reparsed = parse_ok(first);
+    EXPECT_EQ(format_sim_case(reparsed), first);
+
+    EXPECT_EQ(reparsed.name, original.name);
+    EXPECT_EQ(reparsed.seed, original.seed);
+    EXPECT_EQ(reparsed.horizon_ms, original.horizon_ms);
+    EXPECT_EQ(reparsed.topo.ad_count(), original.topo.ad_count());
+    EXPECT_EQ(reparsed.topo.link_count(), original.topo.link_count());
+    EXPECT_EQ(reparsed.flows, original.flows);
+    // %g rounds generated event times to 6 significant digits, so text,
+    // not the in-memory double, is the canonical form: after one
+    // canonicalization pass the structs round-trip exactly.
+    ASSERT_EQ(reparsed.events.size(), original.events.size());
+    const SimCase again = parse_ok(format_sim_case(reparsed));
+    EXPECT_EQ(again.events, reparsed.events);
+  }
+}
+
+TEST(SimCaseFormat, EveryEventKindSurvivesTheRoundTrip) {
+  // Crank the schedule knobs so one case exercises link-down, crash and
+  // Byzantine events at once.
+  SimCaseParams params;
+  params.seed = 11;
+  params.byzantine_prob = 1.0;
+  params.max_link_events = 4;
+  params.max_crash_events = 2;
+  params.permanent_failure_prob = 1.0;  // repair_ms = 0 must round-trip too
+  const SimCase original = generate_sim_case(params);
+  bool saw_link = false, saw_crash = false, saw_byz = false;
+  for (const SimEvent& e : original.events) {
+    saw_link |= e.kind == SimEvent::Kind::kLinkDown;
+    saw_crash |= e.kind == SimEvent::Kind::kCrash;
+    saw_byz |= e.kind == SimEvent::Kind::kByzantine;
+  }
+  ASSERT_TRUE(saw_link && saw_crash && saw_byz)
+      << "generator knobs must force all three event kinds";
+  const SimCase reparsed = parse_ok(format_sim_case(original));
+  EXPECT_EQ(format_sim_case(reparsed), format_sim_case(original));
+  ASSERT_EQ(reparsed.events.size(), original.events.size());
+  for (std::size_t i = 0; i < reparsed.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, original.events[i].kind);
+    EXPECT_EQ(reparsed.events[i].a, original.events[i].a);
+    EXPECT_EQ(reparsed.events[i].b, original.events[i].b);
+    EXPECT_EQ(reparsed.events[i].ad, original.events[i].ad);
+    EXPECT_EQ(reparsed.events[i].misbehavior, original.events[i].misbehavior);
+    EXPECT_EQ(reparsed.events[i].victim, original.events[i].victim);
+    EXPECT_NEAR(reparsed.events[i].at_ms, original.events[i].at_ms, 0.01);
+  }
+}
+
+TEST(SimCaseFormat, ParseReportsTheOffendingLine) {
+  const auto expect_error = [](const std::string& text, std::size_t line) {
+    SimCaseParseResult parsed = parse_sim_case(text);
+    const auto* err = std::get_if<SimCaseParseError>(&parsed);
+    ASSERT_NE(err, nullptr) << text;
+    EXPECT_EQ(err->line, line) << err->describe();
+  };
+  expect_error(
+      "case name=x seed=1 horizon-ms=1000\n"
+      "ad a campus stub\n"
+      "bogus statement\n",
+      3);
+  expect_error(
+      "case name=x seed=1 horizon-ms=1000\n"
+      "ad a campus stub\n"
+      "ad b campus stub\n"
+      "event byzantine at=10 ad=a\n",  // missing kind=
+      4);
+  expect_error(
+      "case name=x seed=1 horizon-ms=1000\n"
+      "ad a campus stub\n"
+      "ad b campus stub\n"
+      "event link-down at=10 a=a b=b\n",  // no such link
+      4);
+}
+
+TEST(SimCaseFormat, StructuralReductionsStaySerializable) {
+  SimCaseParams params;
+  params.seed = 4;
+  const SimCase original = generate_sim_case(params);
+  ASSERT_GE(original.topo.ad_count(), 3u);
+
+  const SimCase smaller = remove_ad(original, AdId{0});
+  EXPECT_EQ(smaller.topo.ad_count(), original.topo.ad_count() - 1);
+  const std::string text = format_sim_case(smaller);
+  EXPECT_EQ(format_sim_case(parse_ok(text)), text);
+
+  const SimCase no_flows = with_flows(original, {});
+  EXPECT_TRUE(no_flows.flows.empty());
+  EXPECT_EQ(format_sim_case(parse_ok(format_sim_case(no_flows))),
+            format_sim_case(no_flows));
+}
+
+// --- differential runner ----------------------------------------------
+
+// Satellite S4: the whole run must be a pure function of the seed. Two
+// independent executions of the same SimCase agree on the counter
+// fingerprint (a digest of every per-AD counter, i.e. the forwarding
+// tables' observable behavior) and on the DES event count, per design
+// point.
+TEST(Differential, SameSeedIsDeterministic) {
+  SimCaseParams params;
+  params.seed = 3;
+  const SimCase c = generate_sim_case(params);
+  DiffOptions options;
+  options.check_determinism = false;  // we do the double run ourselves
+  const DiffResult first = run_differential(c, options);
+  const DiffResult second = run_differential(c, options);
+  ASSERT_EQ(first.archs.size(), 4u);
+  ASSERT_EQ(second.archs.size(), first.archs.size());
+  for (std::size_t i = 0; i < first.archs.size(); ++i) {
+    SCOPED_TRACE(first.archs[i].arch);
+    EXPECT_EQ(first.archs[i].fingerprint, second.archs[i].fingerprint);
+    EXPECT_EQ(first.archs[i].events_processed,
+              second.archs[i].events_processed);
+    EXPECT_EQ(first.archs[i].violations.size(),
+              second.archs[i].violations.size());
+  }
+}
+
+TEST(Differential, GeneratedSeedsReplayClean) {
+  // A slice of the acceptance sweep (tools/simtest --seeds 64): generated
+  // worlds produce only agreements and paper-sanctioned divergences.
+  for (std::uint64_t seed : {1, 2}) {
+    SCOPED_TRACE(seed);
+    SimCaseParams params;
+    params.seed = seed;
+    const SimCase c = generate_sim_case(params);
+    const DiffResult result = run_differential(c);
+    EXPECT_TRUE(result.clean())
+        << (result.signatures().empty() ? std::string("(clean)")
+                                        : result.signatures().front());
+    for (const ArchDiffResult& a : result.archs) {
+      EXPECT_EQ(a.flows_total, c.flows.size());
+      EXPECT_EQ(a.invariants.persistent_loops, 0u) << a.arch;
+    }
+  }
+}
+
+// The tester must catch a planted defect: an LS-HbH probe that consults
+// the default-class FIB for every flow lets traffic from the wrong user
+// class cross AUP-restricted transit, which classification must flag as
+// a genuine illegal-path violation (never as an expected divergence).
+TEST(Differential, InjectedProbeBugIsCaught) {
+  SimCaseParams params;
+  params.seed = 2;
+  const SimCase c = generate_sim_case(params);
+  DiffOptions buggy;
+  buggy.check_determinism = false;
+  buggy.inject_probe_bug = true;
+  const DiffResult result = run_differential(c, buggy);
+  EXPECT_FALSE(result.clean());
+  EXPECT_TRUE(has_signature(result, "ls-hbh:illegal-path"));
+  // The defect is confined to LS-HbH: the other design points stay clean.
+  for (const ArchDiffResult& a : result.archs) {
+    if (a.arch != "ls-hbh") {
+      EXPECT_TRUE(a.violations.empty()) << a.arch;
+    }
+  }
+}
+
+// Acceptance: the shrinker reduces the injected-bug failure to a
+// reproducer of at most 8 ADs that still fails for the same reason, and
+// dropping the bug makes the minimized case pass.
+TEST(Differential, ShrinkerMinimizesInjectedBugCase) {
+  SimCaseParams params;
+  params.seed = 2;
+  const SimCase c = generate_sim_case(params);
+  DiffOptions buggy;
+  buggy.check_determinism = false;
+  buggy.inject_probe_bug = true;
+  const DiffResult failing = run_differential(c, buggy);
+  ASSERT_FALSE(failing.clean());
+
+  const FailurePredicate predicate =
+      signature_predicate(failing.signatures(), buggy);
+  const ShrinkResult shrunk = shrink_sim_case(c, predicate);
+  EXPECT_LE(shrunk.minimized.topo.ad_count(), 8u);
+  EXPECT_LT(shrunk.minimized.flows.size(), c.flows.size());
+  EXPECT_LE(shrunk.checks, ShrinkOptions{}.max_checks);
+
+  // Still fails, for the same reason, deterministically.
+  const DiffResult replay = run_differential(shrunk.minimized, buggy);
+  EXPECT_TRUE(has_signature(replay, "ls-hbh:illegal-path"));
+  // And the minimized world is healthy without the planted defect.
+  DiffOptions fixed;
+  fixed.check_determinism = false;
+  EXPECT_TRUE(run_differential(shrunk.minimized, fixed).clean());
+}
+
+// --- golden corpus -----------------------------------------------------
+
+TEST(Corpus, CleanCasesReplayClean) {
+  for (const char* name : {"clean-seed-1.simcase", "clean-seed-2.simcase"}) {
+    SCOPED_TRACE(name);
+    const std::string text = read_corpus(name);
+    ASSERT_FALSE(text.empty());
+    const SimCase c = parse_ok(text);
+    ASSERT_GT(c.topo.ad_count(), 0u);
+    // Checked-in corpus files are canonical serializations.
+    EXPECT_EQ(format_sim_case(c), text);
+    const DiffResult result = run_differential(c);
+    EXPECT_TRUE(result.clean());
+  }
+}
+
+TEST(Corpus, MinimizedReproducerReplaysDeterministically) {
+  const std::string text = read_corpus("buggy-lshh-min.simcase");
+  ASSERT_FALSE(text.empty());
+  const SimCase c = parse_ok(text);
+  ASSERT_GT(c.topo.ad_count(), 0u);
+  EXPECT_LE(c.topo.ad_count(), 8u);
+  EXPECT_EQ(format_sim_case(c), text);
+
+  // Without the planted defect the world is healthy...
+  EXPECT_TRUE(run_differential(c).clean());
+
+  // ...with it, the reproducer trips exactly the recorded signature, on
+  // every replay, with a stable fingerprint.
+  DiffOptions buggy;
+  buggy.check_determinism = false;
+  buggy.inject_probe_bug = true;
+  const DiffResult first = run_differential(c, buggy);
+  const DiffResult second = run_differential(c, buggy);
+  const std::vector<std::string> expected{"ls-hbh:illegal-path"};
+  EXPECT_EQ(first.signatures(), expected);
+  EXPECT_EQ(second.signatures(), expected);
+  ASSERT_EQ(first.archs.size(), second.archs.size());
+  for (std::size_t i = 0; i < first.archs.size(); ++i) {
+    EXPECT_EQ(first.archs[i].fingerprint, second.archs[i].fingerprint)
+        << first.archs[i].arch;
+  }
+}
+
+// --- structured invariant findings (satellite S1) ----------------------
+
+class NullNode : public Node {
+ public:
+  void on_message(AdId, std::span<const std::uint8_t>) override {}
+};
+
+TEST(InvariantFindings, CarryOffendingPairAndPath) {
+  // Three-AD chain with synthetic probes: monitor findings must name the
+  // offending (src, dst) pair and the walked path, not just bump a
+  // counter.
+  Topology topo;
+  const AdId a = topo.add_ad(AdClass::kBackbone, AdRole::kTransit, "a");
+  const AdId b = topo.add_ad(AdClass::kRegional, AdRole::kTransit, "b");
+  const AdId c = topo.add_ad(AdClass::kCampus, AdRole::kStub, "c");
+  topo.add_link(a, b, LinkClass::kHierarchical);
+  topo.add_link(b, c, LinkClass::kHierarchical);
+
+  Engine engine;
+  Network net(engine, topo);
+  for (const Ad& ad : topo.ads()) {
+    net.attach(ad.id, std::make_unique<NullNode>());
+  }
+
+  InvariantConfig config;
+  config.sample_pairs = 0;  // probe every ordered pair
+  InvariantMonitor monitor(net, config, [&](AdId src, AdId dst) {
+    Probe probe;
+    if (src == a && dst == c) {
+      probe.outcome = ProbeOutcome::kLooped;
+      probe.path = {a, b, a};
+    } else if (src == c && dst == a) {
+      probe.outcome = ProbeOutcome::kBlackHole;
+      probe.path = {c, b};
+    } else {
+      probe.outcome = ProbeOutcome::kDelivered;
+      probe.path = {src, dst};
+    }
+    return probe;
+  });
+
+  // No fault was ever injected, so violations are persistent immediately.
+  monitor.sweep();
+  monitor.sweep();  // dedup: re-observing must not add findings
+
+  EXPECT_EQ(monitor.stats().persistent_loops, 1u);
+  EXPECT_EQ(monitor.stats().persistent_black_holes, 1u);
+  const std::vector<InvariantFinding> findings = monitor.persistent_findings();
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings.size(), monitor.findings().size());
+
+  const InvariantFinding& loop = findings[0];
+  EXPECT_EQ(loop.kind, InvariantKind::kLoop);
+  EXPECT_STREQ(to_string(loop.kind), "loop");
+  EXPECT_TRUE(loop.persistent);
+  EXPECT_EQ(loop.src, a);
+  EXPECT_EQ(loop.dst, c);
+  EXPECT_EQ(loop.path, (std::vector<AdId>{a, b, a}));
+
+  const InvariantFinding& hole = findings[1];
+  EXPECT_EQ(hole.kind, InvariantKind::kBlackHole);
+  EXPECT_STREQ(to_string(hole.kind), "black-hole");
+  EXPECT_EQ(hole.src, c);
+  EXPECT_EQ(hole.dst, a);
+  EXPECT_EQ(hole.path, (std::vector<AdId>{c, b}));
+}
+
+TEST(InvariantFindings, TransientRecordingIsOptInAndCapped) {
+  Topology topo;
+  const AdId a = topo.add_ad(AdClass::kRegional, AdRole::kTransit, "a");
+  const AdId b = topo.add_ad(AdClass::kCampus, AdRole::kStub, "b");
+  topo.add_link(a, b, LinkClass::kHierarchical);
+
+  Engine engine;
+  Network net(engine, topo);
+  for (const Ad& ad : topo.ads()) {
+    net.attach(ad.id, std::make_unique<NullNode>());
+  }
+  const auto looping_probe = [&](AdId src, AdId) {
+    Probe probe;
+    probe.outcome = ProbeOutcome::kLooped;
+    probe.path = {src, src};
+    return probe;
+  };
+
+  {
+    // Default config: transient violations bump counters only.
+    InvariantMonitor monitor(net, InvariantConfig{}, looping_probe);
+    monitor.note_fault();  // inside the reconvergence window -> transient
+    monitor.sweep();
+    EXPECT_GT(monitor.stats().transient_loops, 0u);
+    EXPECT_TRUE(monitor.findings().empty());
+    EXPECT_TRUE(monitor.persistent_findings().empty());
+  }
+  {
+    InvariantConfig config;
+    config.record_transient_findings = true;
+    config.max_transient_findings = 1;
+    InvariantMonitor monitor(net, config, looping_probe);
+    monitor.note_fault();
+    monitor.sweep();  // two ordered pairs loop, but the cap admits one
+    ASSERT_EQ(monitor.findings().size(), 1u);
+    EXPECT_FALSE(monitor.findings()[0].persistent);
+    EXPECT_TRUE(monitor.persistent_findings().empty());
+  }
+}
+
+}  // namespace
+}  // namespace idr
