@@ -1,0 +1,195 @@
+// bench_scale: paper-scale engine baseline (BENCH_scale.json).
+//
+// Stands up the hierarchical scale profile (core/scale_profile.*) at AD
+// counts 1e2..1e5 for each of the four design points, runs each internet
+// to full convergence on the calendar-queue engine, and emits one JSON
+// row per (arch, size) with the throughput/overhead numbers the CI
+// regression gate (tools/check_bench_scale.py) and EXPERIMENTS.md track:
+// events processed, wall time, events/sec, control-plane messages and
+// bytes (bytes/event), simulated convergence time, peak RSS, and the
+// delivered fraction of sampled stub->beacon probes.
+//
+// Standalone binary (not google-benchmark): one converged run per cell
+// is the measurement; determinism comes from the fixed profile seed.
+//
+// Peak-RSS caveat: getrusage(RUSAGE_SELF).ru_maxrss is a process-wide
+// high-water mark, so sizes run ascending and each row reports the mark
+// before and after its run; the per-run delta is only meaningful for the
+// largest size so far.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/design_harness.hpp"
+#include "core/scale_profile.hpp"
+#include "sim/engine.hpp"
+#include "sim/invariants.hpp"
+#include "sim/network.hpp"
+#include "util/check.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+constexpr std::uint64_t kProfileSeed = 0x5ca1eULL;
+constexpr std::uint32_t kBeacons = 64;
+constexpr std::size_t kProbes = 256;
+constexpr std::size_t kMaxEvents = 2'000'000'000;
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+struct Row {
+  std::string arch;
+  std::uint32_t ads = 0;
+  std::uint32_t transit_ads = 0;
+  std::size_t links = 0;
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  double bytes_per_event = 0.0;
+  double convergence_ms = 0.0;  // simulated time of the last event
+  std::size_t probes = 0;
+  std::size_t probe_delivered = 0;
+  long rss_before_kb = 0;
+  long rss_after_kb = 0;
+};
+
+Row run_cell(const std::string& arch, idr::ScaleProfile& profile) {
+  Row row;
+  row.arch = arch;
+  row.ads = static_cast<std::uint32_t>(profile.topo.ad_count());
+  row.transit_ads = static_cast<std::uint32_t>(profile.transits.size());
+  row.links = profile.topo.link_count();
+  row.rss_before_kb = peak_rss_kb();
+
+  idr::Engine engine(idr::SchedulerKind::kCalendar);
+  idr::Network net(engine, profile.topo);
+  const auto factory = idr::make_scale_factory(arch, profile);
+  net.set_node_factory(factory);
+  for (const idr::Ad& ad : profile.topo.ads()) {
+    net.attach(ad.id, factory(ad.id));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  net.start_all();
+  row.events = engine.run(kMaxEvents);
+  const auto t1 = std::chrono::steady_clock::now();
+  IDR_CHECK_MSG(engine.empty(), "scale run hit the event cap");
+
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.events_per_sec =
+      row.wall_ms > 0.0 ? row.events / (row.wall_ms / 1e3) : 0.0;
+  row.convergence_ms = engine.now();
+  row.msgs_sent = net.total().msgs_sent;
+  row.bytes_sent = net.total().bytes_sent;
+  row.bytes_per_event =
+      row.events > 0 ? static_cast<double>(row.bytes_sent) /
+                           static_cast<double>(row.events)
+                     : 0.0;
+
+  // Data-plane sanity at the converged horizon: sampled stub->beacon
+  // probes through the design's own forwarding walk.
+  const auto probe = idr::make_design_probe(arch, net, profile.topo);
+  idr::Prng prng(kProfileSeed ^ 0x9e3779b97f4a7c15ULL);
+  const std::size_t n = profile.topo.ad_count();
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    const idr::AdId src{static_cast<std::uint32_t>(prng.below(n))};
+    const idr::AdId dst =
+        profile.beacons[prng.below(profile.beacons.size())];
+    if (src == dst) continue;
+    idr::FlowSpec flow;
+    flow.src = src;
+    flow.dst = dst;
+    ++row.probes;
+    if (probe(flow).outcome == idr::ProbeOutcome::kDelivered) {
+      ++row.probe_delivered;
+    }
+  }
+  row.rss_after_kb = peak_rss_kb();
+  return row;
+}
+
+void emit(std::FILE* out, const std::vector<Row>& rows) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"bench_scale/v1\",\n");
+  std::fprintf(out, "  \"profile_seed\": %llu,\n",
+               static_cast<unsigned long long>(kProfileSeed));
+  std::fprintf(out, "  \"beacons\": %u,\n", kBeacons);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        out,
+        "    {\"arch\": \"%s\", \"ads\": %u, \"transit_ads\": %u, "
+        "\"links\": %zu, \"events\": %llu, \"wall_ms\": %.3f, "
+        "\"events_per_sec\": %.1f, \"msgs_sent\": %llu, "
+        "\"bytes_sent\": %llu, \"bytes_per_event\": %.2f, "
+        "\"convergence_ms\": %.3f, \"probes\": %zu, "
+        "\"probe_delivered\": %zu, \"rss_before_kb\": %ld, "
+        "\"rss_after_kb\": %ld}%s\n",
+        r.arch.c_str(), r.ads, r.transit_ads, r.links,
+        static_cast<unsigned long long>(r.events), r.wall_ms,
+        r.events_per_sec, static_cast<unsigned long long>(r.msgs_sent),
+        static_cast<unsigned long long>(r.bytes_sent), r.bytes_per_event,
+        r.convergence_ms, r.probes, r.probe_delivered, r.rss_before_kb,
+        r.rss_after_kb, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint32_t max_ads = 100'000;
+  std::string out_path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-ads") == 0 && i + 1 < argc) {
+      max_ads = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--max-ads N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  for (const std::uint32_t size : {100u, 1'000u, 10'000u, 100'000u}) {
+    if (size > max_ads) break;  // ascending: RSS high-water stays honest
+    idr::ScaleProfile profile =
+        idr::make_scale_profile(size, kProfileSeed, kBeacons);
+    for (const std::string& arch : idr::design_point_names()) {
+      rows.push_back(run_cell(arch, profile));
+      const Row& r = rows.back();
+      std::fprintf(stderr,
+                   "%-6s ads=%-7u events=%-10llu wall=%8.1fms "
+                   "ev/s=%12.0f conv=%8.1fms delivered=%zu/%zu\n",
+                   r.arch.c_str(), r.ads,
+                   static_cast<unsigned long long>(r.events), r.wall_ms,
+                   r.events_per_sec, r.convergence_ms, r.probe_delivered,
+                   r.probes);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  emit(out, rows);
+  std::fclose(out);
+  return 0;
+}

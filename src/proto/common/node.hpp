@@ -41,12 +41,15 @@ class ProtoNode : public Node {
     net_->send(self_, to, std::move(w).take());
   }
 
-  // Send the same bytes to every live neighbor except `except`.
+  // Send the same bytes to every live neighbor except `except`. The
+  // encoded frame is shared across all receivers (one allocation).
   void send_to_neighbors(const std::vector<std::uint8_t>& bytes,
                          AdId except = kNoAd) {
+    Payload payload;
     for (const Adjacency& adj : live_neighbors()) {
       if (adj.neighbor == except) continue;
-      net_->send(self_, adj.neighbor, bytes);
+      if (!payload) payload = make_payload(bytes);
+      net_->send(self_, adj.neighbor, payload);
     }
   }
 };

@@ -1,21 +1,22 @@
 #include "proto/ecma/ecma_node.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "util/check.hpp"
 
 namespace idr {
 
 void EcmaNode::start() {
-  for (std::uint8_t q = 0; q < kQosCount; ++q) {
-    if ((config_.qos_mask & (1u << q)) == 0) continue;
-    Entry& e = rib_[key(self(), static_cast<Qos>(q))];
-    // The empty path is trivially down-only (and trivially valid).
-    e.best = Route{0, self(), true};
-    e.best_down = Route{0, self(), true};
+  if (config_.originate) {
+    for (std::uint8_t q = 0; q < kQosCount; ++q) {
+      if ((config_.qos_mask & (1u << q)) == 0) continue;
+      Entry& e = rib_[key(self(), static_cast<Qos>(q))];
+      // The empty path is trivially down-only (and trivially valid).
+      e.best = Route{0, self(), true};
+      e.best_down = Route{0, self(), true};
+    }
   }
-  broadcast();
+  if (!rib_.empty()) broadcast();
   schedule_refresh();
 }
 
@@ -53,7 +54,7 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
   w.u8(kMsgUpdate);
   wire::Writer body;
   std::uint16_t count = 0;
-  for (const auto& [k, entry] : rib_) {
+  for (const auto [k, entry] : rib_) {
     const AdId dst{static_cast<std::uint32_t>(k >> 8)};
     const auto qos = static_cast<std::uint8_t>(k & 0xff);
     if (mis != Misbehavior::kRouteLeak && !advertisable(dst)) continue;
@@ -134,9 +135,26 @@ bool EcmaNode::defense_accepts(const SenderBound& bound, AdId from, AdId dst,
 }
 
 void EcmaNode::broadcast() {
+  // encode_for ignores the neighbor (full-table updates, receiver-side
+  // usability filtering), so one encode serves every adjacency.
+  Payload payload;
   for (const Adjacency& adj : live_neighbors()) {
-    net().send(self(), adj.neighbor, encode_for(adj.neighbor));
+    if (!payload) payload = make_payload(encode_for(adj.neighbor));
+    net().send(self(), adj.neighbor, payload);
   }
+}
+
+void EcmaNode::trigger_broadcast() {
+  if (config_.mrai_ms <= 0.0) {
+    broadcast();
+    return;
+  }
+  if (broadcast_scheduled_) return;
+  broadcast_scheduled_ = true;
+  schedule_guarded(config_.mrai_ms, [this] {
+    broadcast_scheduled_ = false;
+    broadcast();
+  });
 }
 
 void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
@@ -181,7 +199,7 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     // (used by the help heuristic below).
     std::uint16_t their_best = 0xffff;
   };
-  std::map<std::uint64_t, Candidates> per_key;
+  DenseMap<std::uint64_t, Candidates> per_key;
   const SenderBound* bound =
       config_.receiver_order_check ? &sender_bound(from) : nullptr;
   for (const RawEntry& entry : entries) {
@@ -236,13 +254,13 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       changed = true;
     }
   };
-  for (const auto& [k, cand] : per_key) {
+  for (const auto [k, cand] : per_key) {
     Entry& entry = rib_[k];
     apply(entry.best, cand.any);
     apply(entry.best_down, cand.down);
   }
 
-  if (changed) broadcast();
+  if (changed) trigger_broadcast();
 
   // Repair heuristic: if the neighbor explicitly advertised a route
   // strictly worse than what we could offer it (+1 hop) -- typically a
@@ -253,16 +271,15 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   // regressions makes every help a strict improvement at the receiver,
   // which bounds the exchange.
   bool help = false;
-  for (const auto& [k, cand] : per_key) {
+  for (const auto [k, cand] : per_key) {
     const AdId dst{static_cast<std::uint32_t>(k >> 8)};
     if (dst == from) continue;
     if (!advertisable(dst)) continue;
-    const auto it = rib_.find(k);
-    if (it == rib_.end()) continue;
+    const Entry* e = rib_.find(k);
+    if (!e) continue;
     // What `from` could use from us: any shape if they reach us over an
     // up link (we are above them, i.e. from is below), else down-only.
-    const Route& offered =
-        from_is_below ? it->second.best : it->second.best_down;
+    const Route& offered = from_is_below ? e->best : e->best_down;
     if (!offered.valid(config_.infinity) || offered.via == from) continue;
     if (offered.metric + 1u < cand.their_best) {
       help = true;
@@ -278,7 +295,7 @@ void EcmaNode::on_link_change(AdId neighbor, bool up) {
     return;
   }
   bool changed = false;
-  for (auto& [k, entry] : rib_) {
+  for (auto [k, entry] : rib_) {
     (void)k;
     for (Route* slot : {&entry.best, &entry.best_down}) {
       if (slot->valid(config_.infinity) && slot->via == neighbor &&
@@ -293,9 +310,9 @@ void EcmaNode::on_link_change(AdId neighbor, bool up) {
 
 std::optional<EcmaNode::Forwarding> EcmaNode::forward(AdId dst, Qos qos,
                                                       bool gone_down) const {
-  const auto it = rib_.find(key(dst, qos));
-  if (it == rib_.end()) return std::nullopt;
-  const Route& r = gone_down ? it->second.best_down : it->second.best;
+  const Entry* e = rib_.find(key(dst, qos));
+  if (!e) return std::nullopt;
+  const Route& r = gone_down ? e->best_down : e->best;
   if (!r.valid(config_.infinity) || r.via == self()) return std::nullopt;
   // Traversing a down link sets the packet's gone-down marker.
   const bool link_is_down = neighbor_is_below(r.via);
@@ -303,14 +320,14 @@ std::optional<EcmaNode::Forwarding> EcmaNode::forward(AdId dst, Qos qos,
 }
 
 std::uint16_t EcmaNode::distance(AdId dst, Qos qos) const {
-  const auto it = rib_.find(key(dst, qos));
-  if (it == rib_.end()) return config_.infinity;
-  return it->second.best.metric;
+  const Entry* e = rib_.find(key(dst, qos));
+  if (!e) return config_.infinity;
+  return e->best.metric;
 }
 
 std::size_t EcmaNode::fib_entries() const noexcept {
   std::size_t n = 0;
-  for (const auto& [k, entry] : rib_) {
+  for (const auto [k, entry] : rib_) {
     (void)k;
     if (entry.best.valid(config_.infinity)) ++n;
     if (entry.best_down.valid(config_.infinity)) ++n;

@@ -26,6 +26,7 @@
 #include "policy/term.hpp"
 #include "proto/common/node.hpp"
 #include "proto/ecma/partial_order.hpp"
+#include "util/dense_map.hpp"
 
 namespace idr {
 
@@ -36,6 +37,11 @@ struct EcmaConfig {
   std::unordered_set<std::uint32_t> export_dsts;
   // Stub behaviour: advertise only own reachability (no transit routes).
   bool stub = false;
+  // Originate reachability for this AD at all. At paper scale (~1e5 ADs)
+  // all-pairs DV state is infeasible and unnecessary; the scale profile
+  // has only a sampled set of beacon ADs originate, so RIBs stay
+  // O(beacons) while every AD still participates in transit.
+  bool originate = true;
   // Receiver-side Byzantine defense (the sender-side up/down rule is what
   // a misconfigured or lying AD violates): every incoming advertisement is
   // checked against static-topology lower bounds -- a claimed metric below
@@ -45,6 +51,11 @@ struct EcmaConfig {
   // role (or a hybrid for a non-neighbor dst) violates its known role.
   // Rejections are counted via Network::note_defense_rejection.
   bool receiver_order_check = false;
+  // Min route advertisement interval: coalesce change-triggered
+  // broadcasts into one update per window (0 = advertise immediately,
+  // the historical behavior). At paper scale every beacon arrival would
+  // otherwise trigger a separate full-table broadcast.
+  double mrai_ms = 0.0;
 };
 
 class EcmaNode : public ProtoNode {
@@ -101,6 +112,7 @@ class EcmaNode : public ProtoNode {
   }
 
   void broadcast();
+  void trigger_broadcast();
   void schedule_refresh();
   [[nodiscard]] bool advertisable(AdId dst) const;
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
@@ -126,7 +138,10 @@ class EcmaNode : public ProtoNode {
   const PartialOrder* order_;
   EcmaConfig config_;
   double periodic_refresh_ms_ = 0.0;
-  std::unordered_map<std::uint64_t, Entry> rib_;
+  bool broadcast_scheduled_ = false;  // an MRAI window is already open
+  // Struct-of-arrays FIB keyed by (dst, qos); contiguous iteration is the
+  // encode hot path and insertion-order walks keep runs deterministic.
+  DenseMap<std::uint64_t, Entry> rib_;
   // Last advertised route per neighbor direction is recomputed on demand;
   // full-table triggered updates keep the protocol simple and honest.
 };

@@ -95,11 +95,13 @@ std::optional<IdrpRoute> IdrpRoute::decode(wire::Reader& r) {
 }
 
 void IdrpNode::start() {
-  // Originate own reachability: an empty path means "this AD".
-  IdrpRoute origin;
-  origin.dst = self();
-  loc_rib_[self().v] = {origin};
-  advertise();
+  if (config_.originate) {
+    // Originate own reachability: an empty path means "this AD".
+    IdrpRoute origin;
+    origin.dst = self();
+    loc_rib_[self().v] = {origin};
+    advertise();
+  }
   schedule_refresh();
 }
 
@@ -128,7 +130,7 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
   wire::Writer body;
   std::uint16_t count = 0;
   const auto own_terms = policies_->terms(self());
-  for (const auto& [dst_v, routes] : loc_rib_) {
+  for (const auto [dst_v, routes] : loc_rib_) {
     const AdId dst{dst_v};
     std::uint32_t emitted_for_dst = 0;
     for (const IdrpRoute& route : routes) {
@@ -217,16 +219,64 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
   return std::move(w).take();
 }
 
+namespace {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) hash = (hash ^ b) * 0x100000001b3ULL;
+  return hash;
+}
+
+}  // namespace
+
 void IdrpNode::advertise() {
+  // Shared fast path: with previous-hop-agnostic terms, encode_for only
+  // depends on the neighbor through sender-side loop suppression, which
+  // the receiver re-checks anyway (self-in-path rejection). One generic
+  // encode (no suppression) then serves every neighbor.
+  bool generic_ok = config_.shared_updates;
+  if (generic_ok) {
+    for (const PolicyTerm& t : policies_->terms(self())) {
+      if (!t.prev_hops.is_any()) {
+        generic_ok = false;
+        break;
+      }
+    }
+  }
+  Payload shared;
+  std::uint64_t shared_hash = 0;
   for (const Adjacency& adj : live_neighbors()) {
+    if (generic_ok) {
+      if (!shared) {
+        shared = make_payload(encode_for(kNoAd));
+        shared_hash = fnv1a(*shared);
+      }
+      auto [sent, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
+      if (!inserted && sent == shared_hash) continue;
+      sent = shared_hash;
+      net().send(self(), adj.neighbor, shared);
+      continue;
+    }
     std::vector<std::uint8_t> update = encode_for(adj.neighbor);
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (std::uint8_t b : update) hash = (hash ^ b) * 0x100000001b3ULL;
-    auto [it, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
-    if (!inserted && it->second == hash) continue;  // nothing new for them
-    it->second = hash;
+    const std::uint64_t hash = fnv1a(update);
+    auto [sent, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
+    if (!inserted && sent == hash) continue;  // nothing new for them
+    sent = hash;
     net().send(self(), adj.neighbor, std::move(update));
   }
+}
+
+void IdrpNode::trigger_advertise() {
+  if (config_.mrai_ms <= 0.0) {
+    advertise();
+    return;
+  }
+  if (advertise_scheduled_) return;
+  advertise_scheduled_ = true;
+  schedule_guarded(config_.mrai_ms, [this] {
+    advertise_scheduled_ = false;
+    advertise();
+  });
 }
 
 void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
@@ -333,13 +383,15 @@ void IdrpNode::on_link_change(AdId neighbor, bool up) {
 void IdrpNode::reselect_and_maybe_advertise() {
   // Rebuild loc-RIB from all adj-RIBs-in, keeping up to routes_per_dest
   // policy-diverse routes per destination.
-  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> fresh;
-  IdrpRoute origin;
-  origin.dst = self();
-  fresh[self().v] = {origin};
+  DenseMap<std::uint32_t, std::vector<IdrpRoute>> fresh;
+  if (config_.originate) {
+    IdrpRoute origin;
+    origin.dst = self();
+    fresh[self().v] = {origin};
+  }
 
-  std::unordered_map<std::uint32_t, std::vector<const IdrpRoute*>> candidates;
-  for (const auto& [nbr, routes] : adj_rib_in_) {
+  DenseMap<std::uint32_t, std::vector<const IdrpRoute*>> candidates;
+  for (const auto [nbr, routes] : adj_rib_in_) {
     // Routes from unreachable neighbors are unusable.
     const auto link = topo().find_link(self(), AdId{nbr});
     if (!link || !topo().link(*link).up) continue;
@@ -347,8 +399,8 @@ void IdrpNode::reselect_and_maybe_advertise() {
       candidates[route.dst.v].push_back(&route);
     }
   }
-  for (auto& [dst, cands] : candidates) {
-    std::sort(cands.begin(), cands.end(),
+  for (auto [dst, cands] : candidates) {
+    std::stable_sort(cands.begin(), cands.end(),
               [](const IdrpRoute* a, const IdrpRoute* b) {
                 if (a->path.size() != b->path.size()) {
                   return a->path.size() < b->path.size();
@@ -371,13 +423,13 @@ void IdrpNode::reselect_and_maybe_advertise() {
   const std::uint64_t sig = rib_signature();
   if (sig != last_advertised_signature_) {
     last_advertised_signature_ = sig;
-    advertise();
+    trigger_advertise();
   }
 }
 
 std::uint64_t IdrpNode::rib_signature() const {
   std::uint64_t acc = 0x9e3779b97f4a7c15ULL;
-  for (const auto& [dst, routes] : loc_rib_) {
+  for (const auto [dst, routes] : loc_rib_) {
     std::uint64_t s = dst;
     for (const IdrpRoute& route : routes) {
       for (AdId ad : route.path) s = splitmix64(s) ^ ad.v;
@@ -396,9 +448,9 @@ std::uint64_t IdrpNode::rib_signature() const {
 }
 
 std::optional<AdId> IdrpNode::forward(const FlowSpec& flow, AdId prev) const {
-  const auto it = loc_rib_.find(flow.dst.v);
-  if (it == loc_rib_.end()) return std::nullopt;
-  for (const IdrpRoute& route : it->second) {
+  const std::vector<IdrpRoute>* selected = loc_rib_.find(flow.dst.v);
+  if (!selected) return std::nullopt;
+  for (const IdrpRoute& route : *selected) {
     if (route.path.empty()) continue;  // origin route (we are dst)
     if (!route.attrs.permits(flow)) continue;
     const auto link = topo().find_link(self(), route.path.front());
@@ -419,9 +471,9 @@ std::optional<AdId> IdrpNode::forward(const FlowSpec& flow, AdId prev) const {
 }
 
 const IdrpRoute* IdrpNode::select(const FlowSpec& flow) const {
-  const auto it = loc_rib_.find(flow.dst.v);
-  if (it == loc_rib_.end()) return nullptr;
-  for (const IdrpRoute& route : it->second) {
+  const std::vector<IdrpRoute>* selected = loc_rib_.find(flow.dst.v);
+  if (!selected) return nullptr;
+  for (const IdrpRoute& route : *selected) {
     if (route.path.empty()) continue;  // origin route (we are dst)
     if (!route.attrs.permits(flow)) continue;
     const auto link = topo().find_link(self(), route.path.front());
@@ -432,25 +484,24 @@ const IdrpRoute* IdrpNode::select(const FlowSpec& flow) const {
 }
 
 const std::vector<IdrpRoute>* IdrpNode::routes(AdId dst) const {
-  const auto it = loc_rib_.find(dst.v);
-  return it == loc_rib_.end() ? nullptr : &it->second;
+  return loc_rib_.find(dst.v);
 }
 
 std::size_t IdrpNode::loc_rib_routes() const noexcept {
   std::size_t n = 0;
-  for (const auto& [dst, routes] : loc_rib_) n += routes.size();
+  for (const auto [dst, routes] : loc_rib_) n += routes.size();
   return n;
 }
 
 std::size_t IdrpNode::adj_rib_routes() const noexcept {
   std::size_t n = 0;
-  for (const auto& [nbr, routes] : adj_rib_in_) n += routes.size();
+  for (const auto [nbr, routes] : adj_rib_in_) n += routes.size();
   return n;
 }
 
 std::size_t IdrpNode::routes_for(AdId dst) const {
-  const auto it = loc_rib_.find(dst.v);
-  return it == loc_rib_.end() ? 0 : it->second.size();
+  const std::vector<IdrpRoute>* r = loc_rib_.find(dst.v);
+  return r ? r->size() : 0;
 }
 
 }  // namespace idr

@@ -18,13 +18,13 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "policy/database.hpp"
 #include "policy/flow.hpp"
 #include "policy/term.hpp"
 #include "proto/common/node.hpp"
+#include "util/dense_map.hpp"
 
 namespace idr {
 
@@ -74,6 +74,19 @@ struct IdrpConfig {
   // a route no registered term of the sender could have produced is
   // rejected. Rejections are counted via note_defense_rejection.
   bool defend = false;
+  // Originate reachability for this AD. At paper scale only sampled
+  // beacon ADs originate (all-pairs path-vector state is infeasible at
+  // 1e5 ADs); every AD still re-advertises and carries transit.
+  bool originate = true;
+  // Min route advertisement interval: coalesce change-triggered
+  // advertisements into one update per window (0 = immediate, the
+  // historical behavior).
+  double mrai_ms = 0.0;
+  // When our own Policy Terms are previous-hop-agnostic, every neighbor
+  // off the advertised paths receives a byte-identical update; encode it
+  // once and share the payload (paper scale: a regional AD has ~1e3 stub
+  // neighbors). Off by default to keep per-neighbor encode exact.
+  bool shared_updates = false;
 };
 
 class IdrpNode : public ProtoNode {
@@ -123,6 +136,7 @@ class IdrpNode : public ProtoNode {
  private:
   void reselect_and_maybe_advertise();
   void advertise();
+  void trigger_advertise();
   void schedule_refresh();
   // Defense filter for one received route (config_.defend only): checks
   // neighbor consistency and clamps to the sender's registered terms,
@@ -135,15 +149,17 @@ class IdrpNode : public ProtoNode {
   const PolicySet* policies_;
   IdrpConfig config_;
   double periodic_refresh_ms_ = 0.0;
-  // adj-RIB-in: routes as received, per neighbor.
-  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> adj_rib_in_;
+  // adj-RIB-in: routes as received, per neighbor (dense, insertion
+  // ordered: iteration order is a function of the event sequence only).
+  DenseMap<std::uint32_t, std::vector<IdrpRoute>> adj_rib_in_;
   // loc-RIB: selected routes per destination.
-  std::unordered_map<std::uint32_t, std::vector<IdrpRoute>> loc_rib_;
+  DenseMap<std::uint32_t, std::vector<IdrpRoute>> loc_rib_;
   std::uint64_t last_advertised_signature_ = 0;
+  bool advertise_scheduled_ = false;  // an MRAI window is already open
   // Per-neighbor hash of the last update actually sent; identical
   // re-advertisements are suppressed (real path-vector implementations
   // do the same, and it keeps triggered-update churn honest).
-  std::unordered_map<std::uint32_t, std::uint64_t> last_sent_hash_;
+  DenseMap<std::uint32_t, std::uint64_t> last_sent_hash_;
 };
 
 }  // namespace idr

@@ -29,10 +29,17 @@ void LshhNode::sign_lsa(PolicyLsa& lsa) const {
 }
 
 void LshhNode::originate_lsa() {
+  // Hierarchical mode: stubs are silent; their reachability rides on the
+  // attachment listings in their transit neighbors' LSAs.
+  if (config_.hierarchical && !is_transit()) return;
   PolicyLsa lsa;
   lsa.origin = self();
   lsa.seq = ++my_seq_;
   for (const Adjacency& adj : live_neighbors()) {
+    if (config_.hierarchical && !topo().can_transit(adj.neighbor)) {
+      lsa.attached_stubs.push_back(adj.neighbor);
+      continue;
+    }
     lsa.adjacencies.push_back(
         PolicyLsaAdjacency{adj.neighbor, topo().link(adj.link).metric});
   }
@@ -81,7 +88,19 @@ void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
   wire::Writer w;
   w.u8(kMsgLsa);
   lsa.encode(w);
-  send_to_neighbors(w.bytes(), except);
+  if (!config_.hierarchical) {
+    send_to_neighbors(w.bytes(), except);
+    return;
+  }
+  // Stub-suppressed flooding: stubs keep no database, so the flood only
+  // visits the transit subgraph.
+  Payload payload;
+  for (const Adjacency& adj : live_neighbors()) {
+    if (adj.neighbor == except) continue;
+    if (!topo().can_transit(adj.neighbor)) continue;
+    if (!payload) payload = make_payload(w.bytes());
+    net().send(self(), adj.neighbor, payload);
+  }
 }
 
 void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
@@ -148,6 +167,7 @@ void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
 
 void LshhNode::on_link_change(AdId neighbor, bool up) {
   originate_lsa();
+  if (config_.hierarchical && !topo().can_transit(neighbor)) return;
   if (up && neighbor.valid()) {
     // DB sync for a neighbor that just (re)appeared, so a cold-restarted
     // node rebuilds the full map instead of only hearing future changes.
@@ -162,14 +182,20 @@ void LshhNode::on_link_change(AdId neighbor, bool up) {
 
 std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
   const std::uint64_t key = cache_key(flow);
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    if (it->second.db_version == lsdb_.version()) {
+  if (const CacheEntry* e = cache_.find(key)) {
+    if (e->db_version == lsdb_.version()) {
       ++cache_hits_;
-      return it->second.next;
+      return e->next;
     }
-    cache_.erase(it);
+    cache_.erase(key);
   }
+  const std::optional<AdId> next =
+      config_.hierarchical ? hierarchical_next(flow) : flat_next(flow);
+  cache_[key] = CacheEntry{next, lsdb_.version()};
+  return next;
+}
 
+std::optional<AdId> LshhNode::flat_next(const FlowSpec& flow) {
   // Replicate the source's route computation: same database, same
   // deterministic search, same (published) source selection criteria.
   SynthesisOptions options;
@@ -194,8 +220,80 @@ std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
     // If we are not on the agreed path, the packet should never have
     // reached us; drop (next stays nullopt).
   }
-  cache_[key] = CacheEntry{next, lsdb_.version()};
   return next;
+}
+
+AdId LshhNode::attachment(AdId ad) {
+  if (lsdb_.get(ad)) return ad;  // transit ADs own themselves
+  if (attach_version_ != lsdb_.version()) {
+    attach_.clear();
+    lsdb_.for_each([&](const PolicyLsa& lsa) {
+      for (AdId stub : lsa.attached_stubs) {
+        auto [owner, inserted] = attach_.try_emplace(stub.v, lsa.origin.v);
+        if (!inserted && lsa.origin.v < owner) owner = lsa.origin.v;
+      }
+    });
+    attach_version_ = lsdb_.version();
+  }
+  const std::uint32_t* owner = attach_.find(ad.v);
+  return owner ? AdId{*owner} : kNoAd;
+}
+
+std::optional<AdId> LshhNode::hierarchical_next(const FlowSpec& flow) {
+  if (!is_transit()) {
+    // Stub: deliver to an adjacent destination, else hand the packet to
+    // the lowest-id live transit neighbor (the deterministic parent every
+    // other AD also derives from the attachment rule).
+    std::optional<AdId> parent;
+    for (const Adjacency& adj : live_neighbors()) {
+      if (adj.neighbor == flow.dst) return flow.dst;
+      if (topo().can_transit(adj.neighbor) &&
+          (!parent || adj.neighbor < *parent)) {
+        parent = adj.neighbor;
+      }
+    }
+    return parent;
+  }
+  const AdId owner_dst = attachment(flow.dst);
+  if (!owner_dst.valid()) return std::nullopt;
+  if (owner_dst == self()) {
+    // Last transit hop: the destination is our attached stub.
+    for (const Adjacency& adj : live_neighbors()) {
+      if (adj.neighbor == flow.dst) return flow.dst;
+    }
+    return std::nullopt;
+  }
+  const AdId owner_src = attachment(flow.src);
+  if (!owner_src.valid()) return std::nullopt;
+  // Route between the attachments over the transit-only database; the
+  // stub endpoints ride the first/last hierarchical link.
+  FlowSpec synth = flow;
+  synth.src = owner_src;
+  synth.dst = owner_dst;
+  SynthesisOptions options;
+  if (const PolicyLsa* src_lsa = lsdb_.get(synth.src);
+      src_lsa && src_lsa->has_source_policy) {
+    options.avoid = src_lsa->avoid;
+    options.max_hops = src_lsa->max_hops;
+    options.minimize_cost = src_lsa->prefer_min_cost;
+  }
+  ++path_computations_;
+  const LsdbView view(lsdb_, topo().ad_count(), config_.registry);
+  const SynthesisResult result = synthesize_route(view, synth, options);
+  total_expansions_ += result.expansions;
+  if (!result.found()) return std::nullopt;
+  if (self() == owner_src && result.path.size() == 1) {
+    // Degenerate same-owner case is handled above; a one-hop path here
+    // means src and dst attach to the same transit AD.
+    return std::nullopt;
+  }
+  const auto at = std::find(result.path.begin(), result.path.end(), self());
+  if (at == result.path.end() || at + 1 == result.path.end()) {
+    // Not on the agreed transit path (or we ARE owner_dst, handled
+    // above): inconsistency, drop.
+    return std::nullopt;
+  }
+  return *(at + 1);
 }
 
 }  // namespace idr

@@ -17,12 +17,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "policy/database.hpp"
 #include "proto/common/node.hpp"
 #include "proto/orwg/lsdb.hpp"
+#include "util/dense_map.hpp"
 
 namespace idr {
 
@@ -38,6 +38,13 @@ struct LshhConfig {
   // the route-leak defense: an AD cannot widen its transit policy by
   // advertising terms it never registered.
   const PolicySet* registry = nullptr;
+  // Paper-scale hierarchical mode (§2: ~1e5 ADs, ~1e2 transit ADs): only
+  // transit ADs originate LSAs (listing their attached stubs), floods
+  // skip stub neighbors, stubs default-route to their lowest-id live
+  // transit neighbor, and transit ADs route between stub *attachments*
+  // over the transit-only database. The database and every FIB stay
+  // O(transit ADs) instead of O(all ADs).
+  bool hierarchical = false;
 };
 
 class LshhNode : public ProtoNode {
@@ -91,6 +98,13 @@ class LshhNode : public ProtoNode {
   void sign_lsa(PolicyLsa& lsa) const;
   void flood_lsa(const PolicyLsa& lsa, AdId except);
   void schedule_refresh();
+  [[nodiscard]] bool is_transit() const { return topo().can_transit(self()); }
+  // Transit AD a stub rides on: the lowest origin listing it as attached
+  // (every transit AD computes the same owner from the same database,
+  // which is what keeps hierarchical hop-by-hop forwarding consistent).
+  [[nodiscard]] AdId attachment(AdId ad);
+  [[nodiscard]] std::optional<AdId> flat_next(const FlowSpec& flow);
+  [[nodiscard]] std::optional<AdId> hierarchical_next(const FlowSpec& flow);
   [[nodiscard]] static std::uint64_t cache_key(const FlowSpec& flow) noexcept {
     // Source-specific key: hop-by-hop policy routing cannot collapse
     // sources (the paper's state-blowup point).
@@ -104,7 +118,10 @@ class LshhNode : public ProtoNode {
   PolicyLsdb lsdb_;
   double periodic_refresh_ms_ = 0.0;
   std::uint32_t my_seq_ = 0;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  DenseMap<std::uint64_t, CacheEntry> cache_;
+  // Lazily rebuilt stub -> owning transit AD index (hierarchical mode).
+  DenseMap<std::uint32_t, std::uint32_t> attach_;
+  std::uint64_t attach_version_ = ~0ull;
   std::uint64_t path_computations_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t total_expansions_ = 0;

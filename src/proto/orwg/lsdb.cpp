@@ -21,6 +21,12 @@ void PolicyLsa::encode(wire::Writer& w) const {
     w.u32(max_hops);
     w.u8(prefer_min_cost ? 1 : 0);
   }
+  {
+    std::vector<std::uint32_t> raw;
+    raw.reserve(attached_stubs.size());
+    for (AdId ad : attached_stubs) raw.push_back(ad.v);
+    w.u32_list(raw);
+  }
   w.u64(auth);
 }
 
@@ -47,6 +53,7 @@ std::optional<PolicyLsa> PolicyLsa::decode(wire::Reader& r) {
     lsa.max_hops = r.u32();
     lsa.prefer_min_cost = r.u8() != 0;
   }
+  for (std::uint32_t v : r.u32_list()) lsa.attached_stubs.push_back(AdId{v});
   lsa.auth = r.u64();
   if (!r.ok()) return std::nullopt;
   return lsa;
@@ -74,21 +81,23 @@ std::size_t PolicyLsa::encoded_size() const {
 }
 
 bool PolicyLsdb::insert(PolicyLsa lsa) {
-  auto it = lsas_.find(lsa.origin.v);
-  if (it != lsas_.end() && it->second.seq >= lsa.seq) return false;
+  const PolicyLsa* have = lsas_.find(lsa.origin.v);
+  if (have && have->seq >= lsa.seq) return false;
   lsas_[lsa.origin.v] = std::move(lsa);
   ++version_;
   return true;
 }
 
 const PolicyLsa* PolicyLsdb::get(AdId origin) const {
-  const auto it = lsas_.find(origin.v);
-  return it == lsas_.end() ? nullptr : &it->second;
+  return lsas_.find(origin.v);
 }
 
 std::size_t PolicyLsdb::total_terms() const noexcept {
   std::size_t n = 0;
-  for (const auto& [origin, lsa] : lsas_) n += lsa.terms.size();
+  for (const auto [origin, lsa] : lsas_) {
+    (void)origin;
+    n += lsa.terms.size();
+  }
   return n;
 }
 

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/synthesis.hpp"
@@ -20,6 +19,7 @@
 #include "policy/database.hpp"
 #include "policy/term.hpp"
 #include "topology/graph.hpp"
+#include "util/dense_map.hpp"
 #include "wire/codec.hpp"
 
 namespace idr {
@@ -40,6 +40,12 @@ struct PolicyLsa {
   std::vector<AdId> avoid;
   std::uint32_t max_hops = 32;
   bool prefer_min_cost = true;
+
+  // Hierarchical (paper-scale) mode: stub ADs attached to this transit
+  // origin. Stubs originate no LSA of their own; the flooded database
+  // stays O(transit ADs) and stub reachability rides on the attachment
+  // listing (empty in flat mode).
+  std::vector<AdId> attached_stubs;
 
   // Origin authentication tag (paper §2.3: "the level of assurance
   // provided by the mechanisms will affect greatly the kind of policies
@@ -70,11 +76,14 @@ class PolicyLsdb {
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [origin, lsa] : lsas_) fn(lsa);
+    for (const auto [origin, lsa] : lsas_) {
+      (void)origin;
+      fn(lsa);
+    }
   }
 
  private:
-  std::unordered_map<std::uint32_t, PolicyLsa> lsas_;
+  DenseMap<std::uint32_t, PolicyLsa> lsas_;
   std::uint64_t version_ = 0;  // bumped on every accepted insert
 };
 

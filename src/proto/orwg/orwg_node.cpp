@@ -67,10 +67,17 @@ void OrwgNode::sign_lsa(PolicyLsa& lsa) const {
 }
 
 void OrwgNode::originate_lsa() {
+  // Hierarchical mode: stubs are silent; their reachability rides on the
+  // attachment listings in their transit neighbors' LSAs.
+  if (config_.hierarchical && !is_transit()) return;
   PolicyLsa lsa;
   lsa.origin = self();
   lsa.seq = ++my_seq_;
   for (const Adjacency& adj : live_neighbors()) {
+    if (config_.hierarchical && !topo().can_transit(adj.neighbor)) {
+      lsa.attached_stubs.push_back(adj.neighbor);
+      continue;
+    }
     lsa.adjacencies.push_back(
         PolicyLsaAdjacency{adj.neighbor, topo().link(adj.link).metric});
   }
@@ -146,7 +153,19 @@ void OrwgNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
     wire::Writer w;
     w.u8(kMsgLsa);
     lsa.encode(w);
-    send_to_neighbors(w.bytes(), except);
+    if (!config_.hierarchical) {
+      send_to_neighbors(w.bytes(), except);
+      return;
+    }
+    // Stub-suppressed flooding: the flood only visits the transit
+    // subgraph (stubs keep no database).
+    Payload payload;
+    for (const Adjacency& adj : live_neighbors()) {
+      if (adj.neighbor == except) continue;
+      if (!topo().can_transit(adj.neighbor)) continue;
+      if (!payload) payload = make_payload(w.bytes());
+      net().send(self(), adj.neighbor, payload);
+    }
     return;
   }
   pending_floods_.emplace_back(lsa, except);
@@ -162,6 +181,7 @@ void OrwgNode::flush_pending_floods() {
   pending_floods_.clear();
   if (batch.empty()) return;
   for (const Adjacency& adj : live_neighbors()) {
+    if (config_.hierarchical && !topo().can_transit(adj.neighbor)) continue;
     wire::Writer w;
     w.u8(kMsgLsaBatch);
     std::uint16_t count = 0;
@@ -180,6 +200,7 @@ void OrwgNode::flush_pending_floods() {
 
 void OrwgNode::on_link_change(AdId neighbor, bool up) {
   originate_lsa();
+  if (config_.hierarchical && !topo().can_transit(neighbor)) return;
   if (up && neighbor.valid()) {
     // DB sync for a neighbor that just (re)appeared, so a cold-restarted
     // route server rebuilds the full map instead of only hearing future
@@ -196,18 +217,23 @@ void OrwgNode::on_link_change(AdId neighbor, bool up) {
 // --- Policy Route establishment ---------------------------------------------
 
 bool OrwgNode::establish_pr(const FlowSpec& flow, PendingPr pending) {
-  const auto route = route_server_->route(flow);
-  if (!route) {
+  std::optional<std::vector<AdId>> route_path;
+  if (config_.hierarchical) {
+    route_path = policy_route(flow);
+  } else if (const auto route = route_server_->route(flow)) {
+    route_path = route->path;
+  }
+  if (!route_path || route_path->size() < 2) {
     ++route_failures_;
     return false;
   }
   const PrHandle handle{(static_cast<std::uint64_t>(self().v) << 32) |
                         ++next_handle_};
   const auto verdict =
-      gateway_->validate_and_install(handle, flow, route->path, 0);
+      gateway_->validate_and_install(handle, flow, *route_path, 0);
   IDR_CHECK(verdict == PolicyGateway::Verdict::kAccepted);
   pending.flow = flow;
-  pending.path = route->path;
+  pending.path = std::move(*route_path);
   pending.setup_sent_at = net().engine().now();
   pending_[handle.v] = std::move(pending);
   transmit_setup(handle);
@@ -297,9 +323,69 @@ void OrwgNode::teardown(const FlowSpec& flow) {
 
 std::optional<std::vector<AdId>> OrwgNode::policy_route(
     const FlowSpec& flow) {
+  if (config_.hierarchical) {
+    if (is_transit()) return hierarchical_route(flow);
+    // A stub has no database; its route-server query goes to its transit
+    // parent (lowest-id live transit neighbor -- the same deterministic
+    // choice every other AD derives from the attachment rule).
+    std::optional<AdId> parent;
+    for (const Adjacency& adj : live_neighbors()) {
+      if (adj.neighbor == flow.dst) return std::vector<AdId>{self(), flow.dst};
+      if (topo().can_transit(adj.neighbor) &&
+          (!parent || adj.neighbor < *parent)) {
+        parent = adj.neighbor;
+      }
+    }
+    if (!parent) return std::nullopt;
+    auto* p = static_cast<OrwgNode*>(net().node(*parent));
+    if (!p) return std::nullopt;
+    return p->hierarchical_route(flow);
+  }
   const auto route = route_server_->route(flow);
   if (!route) return std::nullopt;
   return route->path;
+}
+
+AdId OrwgNode::attachment(AdId ad) {
+  if (lsdb_.get(ad)) return ad;  // transit ADs own themselves
+  if (attach_version_ != lsdb_.version()) {
+    attach_.clear();
+    lsdb_.for_each([&](const PolicyLsa& lsa) {
+      for (AdId stub : lsa.attached_stubs) {
+        auto [owner, inserted] = attach_.try_emplace(stub.v, lsa.origin.v);
+        if (!inserted && lsa.origin.v < owner) owner = lsa.origin.v;
+      }
+    });
+    attach_version_ = lsdb_.version();
+  }
+  const std::uint32_t* owner = attach_.find(ad.v);
+  return owner ? AdId{*owner} : kNoAd;
+}
+
+std::optional<std::vector<AdId>> OrwgNode::hierarchical_route(
+    const FlowSpec& flow) {
+  const AdId owner_src = attachment(flow.src);
+  const AdId owner_dst = attachment(flow.dst);
+  if (!owner_src.valid() || !owner_dst.valid()) return std::nullopt;
+  std::vector<AdId> path;
+  if (owner_src == owner_dst) {
+    // Both endpoints hang off the same transit AD.
+    path.push_back(flow.src);
+    if (flow.src != owner_src && flow.dst != owner_dst) {
+      path.push_back(owner_src);
+    }
+    path.push_back(flow.dst);
+    return path;
+  }
+  FlowSpec synth = flow;
+  synth.src = owner_src;
+  synth.dst = owner_dst;
+  const auto route = route_server_->route(synth);
+  if (!route) return std::nullopt;
+  if (flow.src != owner_src) path.push_back(flow.src);
+  path.insert(path.end(), route->path.begin(), route->path.end());
+  if (flow.dst != owner_dst) path.push_back(flow.dst);
+  return path;
 }
 
 void OrwgNode::precompute_all() {

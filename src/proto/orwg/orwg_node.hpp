@@ -52,6 +52,12 @@ struct OrwgConfig {
   // set, points at a per-AD key table (index = AdId); LSAs are tagged by
   // their origin and verified at every receiver; forgeries are dropped.
   const std::vector<std::uint64_t>* lsa_keys = nullptr;
+  // Paper-scale hierarchical mode: only transit ADs originate LSAs (with
+  // their attached stubs listed), floods and DB syncs skip stub
+  // neighbors, and a stub's route-server query is answered by its transit
+  // parent -- the paper's model of the Route Server as the provider-side
+  // entity a stub consults. Databases stay O(transit ADs).
+  bool hierarchical = false;
 };
 
 class OrwgNode : public ProtoNode {
@@ -144,6 +150,13 @@ class OrwgNode : public ProtoNode {
   };
 
   void originate_lsa();
+  // Hierarchical helpers: owning transit AD of a (possibly stub) AD, the
+  // stub's deterministic parent, and the end-to-end AD path composed from
+  // a transit-level synthesis between the two attachments.
+  [[nodiscard]] bool is_transit() const { return topo().can_transit(self()); }
+  [[nodiscard]] AdId attachment(AdId ad);
+  [[nodiscard]] std::optional<std::vector<AdId>> hierarchical_route(
+      const FlowSpec& flow);
   void forge_victim_lsa();
   void sign_lsa(PolicyLsa& lsa) const;
   void flood_lsa(const PolicyLsa& lsa, AdId except);
@@ -213,6 +226,9 @@ class OrwgNode : public ProtoNode {
 
   std::uint64_t pr_repairs_ = 0;  // errors healed by immediate resynthesis
   std::uint64_t lsas_rejected_auth_ = 0;
+  // Lazily rebuilt stub -> owning transit AD index (hierarchical mode).
+  DenseMap<std::uint32_t, std::uint32_t> attach_;
+  std::uint64_t attach_version_ = ~0ull;
 };
 
 }  // namespace idr

@@ -1,10 +1,108 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "util/check.hpp"
 
 namespace idr {
+namespace detail {
+
+void CalendarQueue::insert_sorted(std::vector<SimEvent>& bucket,
+                                  SimEvent ev) {
+  const auto it =
+      std::upper_bound(bucket.begin(), bucket.end(), ev, EventLater{});
+  bucket.insert(it, std::move(ev));
+}
+
+void CalendarQueue::push(SimEvent ev) {
+  const std::uint64_t day = day_of(ev.t);
+  // An event can land behind the scan position (e.g. scheduled "now" after
+  // the scan already advanced past sparse buckets); rewind so it is found.
+  if (day < day_) day_ = day;
+  insert_sorted(buckets_[day & mask_], std::move(ev));
+  ++size_;
+  if (size_ > 2 * buckets_.size()) rehash(2 * buckets_.size());
+}
+
+std::size_t CalendarQueue::find_min_bucket() {
+  // Scan the ring from day_: a non-empty bucket whose earliest event falls
+  // inside the current day's window is the global minimum (any earlier
+  // event would have to live in an earlier day, already scanned).
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t day = day_ + i;
+    const std::vector<SimEvent>& b = buckets_[day & mask_];
+    if (!b.empty() &&
+        b.back().t < static_cast<double>(day + 1) * width_) {
+      day_ = day;
+      return day & mask_;
+    }
+  }
+  // Every pending event is more than a full ring ahead: direct-search the
+  // bucket minima (rare; only under very sparse far-future schedules).
+  std::size_t best = 0;
+  SimTime best_t = std::numeric_limits<SimTime>::infinity();
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b].empty()) continue;
+    const SimEvent& ev = buckets_[b].back();
+    if (ev.t < best_t || (ev.t == best_t && ev.seq < best_seq)) {
+      best = b;
+      best_t = ev.t;
+      best_seq = ev.seq;
+    }
+  }
+  day_ = day_of(best_t);
+  return best;
+}
+
+SimTime CalendarQueue::min_time() {
+  return buckets_[find_min_bucket()].back().t;
+}
+
+SimEvent CalendarQueue::pop() {
+  std::vector<SimEvent>& b = buckets_[find_min_bucket()];
+  SimEvent ev = std::move(b.back());
+  b.pop_back();
+  --size_;
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+    rehash(buckets_.size() / 2);
+  }
+  return ev;
+}
+
+void CalendarQueue::rehash(std::size_t nbuckets) {
+  std::vector<SimEvent> all;
+  all.reserve(size_);
+  SimTime min_t = std::numeric_limits<SimTime>::infinity();
+  SimTime max_t = -std::numeric_limits<SimTime>::infinity();
+  for (std::vector<SimEvent>& b : buckets_) {
+    for (SimEvent& ev : b) {
+      min_t = std::min(min_t, ev.t);
+      max_t = std::max(max_t, ev.t);
+      all.push_back(std::move(ev));
+    }
+    b.clear();
+  }
+  // Deterministic width estimate: spread the live population over a third
+  // of the buckets' worth of days. Purely a performance knob -- pop order
+  // is (t, seq) regardless of the bucket geometry.
+  double width = 1.0;
+  if (all.size() >= 2 && max_t > min_t) {
+    width = 3.0 * (max_t - min_t) / static_cast<double>(all.size());
+    width = std::clamp(width, 1e-6, 1e12);
+  }
+  buckets_.assign(nbuckets, {});
+  mask_ = nbuckets - 1;
+  width_ = width;
+  day_ = all.empty() ? 0 : day_of(min_t);
+  for (SimEvent& ev : all) {
+    insert_sorted(buckets_[day_of(ev.t) & mask_], std::move(ev));
+  }
+}
+
+}  // namespace detail
 
 void Engine::at(SimTime t, Callback fn) {
   // Scheduling into the simulated past is a caller bug (typically a stale
@@ -12,15 +110,30 @@ void Engine::at(SimTime t, Callback fn) {
   // order with anything else due now, and trip debug builds loudly.
   assert(t >= now_ && "Engine::at: scheduling into the simulated past");
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  detail::SimEvent ev{t, next_seq_++, std::move(fn)};
+  if (scheduler_ == SchedulerKind::kCalendar) {
+    calendar_.push(std::move(ev));
+  } else {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), detail::EventLater{});
+  }
+}
+
+SimTime Engine::peek_time() {
+  if (scheduler_ == SchedulerKind::kCalendar) return calendar_.min_time();
+  return heap_.front().t;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle (std::function copy) and pop.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (empty()) return false;
+  detail::SimEvent ev;
+  if (scheduler_ == SchedulerKind::kCalendar) {
+    ev = calendar_.pop();
+  } else {
+    std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
+    ev = std::move(heap_.back());
+    heap_.pop_back();
+  }
   now_ = ev.t;
   ++processed_;
   ev.fn();
@@ -30,14 +143,14 @@ bool Engine::step() {
 std::size_t Engine::run(std::size_t max_events) {
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
-  IDR_CHECK_MSG(queue_.empty() || n < max_events,
+  IDR_CHECK_MSG(empty() || n < max_events,
                 "simulation exceeded max_events (runaway protocol?)");
   return n;
 }
 
 std::size_t Engine::run_until(SimTime t) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= t) {
+  while (!empty() && peek_time() <= t) {
     step();
     ++n;
   }

@@ -2,22 +2,103 @@
 // simulated clock in milliseconds. Events scheduled for the same instant
 // run in scheduling order (FIFO via sequence numbers), which keeps every
 // experiment deterministic.
+//
+// Two interchangeable scheduler backends produce the exact same pop order
+// (total order on (time, seq)):
+//  - kCalendar: a calendar queue (Brown 1988) with power-of-two bucket
+//    ring and amortized O(1) enqueue/dequeue. The hot path at paper scale
+//    (~1e5 ADs) where a binary heap's O(log n) and cache misses dominate.
+//  - kBinaryHeap: the original binary-heap order, kept as the reference
+//    implementation for the differential equivalence tests.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace idr {
 
 using SimTime = double;  // simulated milliseconds
 
+enum class SchedulerKind : std::uint8_t {
+  kCalendar = 0,
+  kBinaryHeap = 1,
+};
+
+namespace detail {
+
+struct SimEvent {
+  SimTime t;
+  std::uint64_t seq;
+  std::function<void()> fn;
+};
+
+// Total order shared by both backends: earliest time first, FIFO within a
+// timestamp via the unique sequence number. Written as "a is LATER than b"
+// so it plugs into max-heap algorithms directly.
+struct EventLater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    return a.seq > b.seq;
+  }
+};
+
+// Calendar queue over SimEvents. Buckets form a power-of-two ring indexed
+// by the absolute "day" floor(t / width); each bucket is kept sorted
+// DESCENDING by (t, seq) so the minimum is bucket.back() and pops are
+// pop_back(). The bucket width only affects performance, never pop order,
+// so resizes (which recompute it from the live event population) cannot
+// perturb simulation results.
+class CalendarQueue {
+ public:
+  CalendarQueue() { buckets_.resize(kMinBuckets); }
+
+  void push(SimEvent ev);
+  // Pops the earliest event. Precondition: !empty().
+  SimEvent pop();
+  // Time of the earliest event. Precondition: !empty().
+  [[nodiscard]] SimTime min_time();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  // Introspection for the scheduler unit tests.
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] double width() const noexcept { return width_; }
+
+  static constexpr std::size_t kMinBuckets = 8;  // power of two
+
+ private:
+  [[nodiscard]] std::uint64_t day_of(SimTime t) const noexcept {
+    return static_cast<std::uint64_t>(t / width_);
+  }
+  // Index of the bucket holding the earliest event; advances day_ to that
+  // event's day. Precondition: !empty().
+  std::size_t find_min_bucket();
+  static void insert_sorted(std::vector<SimEvent>& bucket, SimEvent ev);
+  void rehash(std::size_t nbuckets);
+
+  std::vector<std::vector<SimEvent>> buckets_;
+  std::size_t mask_ = kMinBuckets - 1;
+  double width_ = 1.0;       // bucket width in simulated ms
+  std::uint64_t day_ = 0;    // absolute bucket index the scan resumes from
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
 class Engine {
  public:
   using Callback = std::function<void()>;
 
+  explicit Engine(SchedulerKind scheduler = SchedulerKind::kCalendar)
+      : scheduler_(scheduler) {}
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SchedulerKind scheduler() const noexcept { return scheduler_; }
 
   // Schedule at an absolute simulated time (>= now).
   void at(SimTime t, Callback fn);
@@ -34,26 +115,24 @@ class Engine {
   // Run events with time <= t, then advance the clock to t.
   std::size_t run_until(SimTime t);
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return scheduler_ == SchedulerKind::kCalendar ? calendar_.empty()
+                                                  : heap_.empty();
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return scheduler_ == SchedulerKind::kCalendar ? calendar_.size()
+                                                  : heap_.size();
+  }
   [[nodiscard]] std::size_t events_processed() const noexcept {
     return processed_;
   }
 
  private:
-  struct Event {
-    SimTime t;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  [[nodiscard]] SimTime peek_time();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SchedulerKind scheduler_;
+  detail::CalendarQueue calendar_;
+  std::vector<detail::SimEvent> heap_;  // std::push_heap/pop_heap, EventLater
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;

@@ -180,6 +180,13 @@ void InvariantMonitor::sweep() {
         if (s != d) classify(AdId{s}, AdId{d});
       }
     }
+  } else if (!config_.dst_pool.empty()) {
+    for (std::size_t i = 0; i < config_.sample_pairs; ++i) {
+      const auto s = static_cast<std::uint32_t>(sample_prng_.below(n));
+      const AdId d =
+          config_.dst_pool[sample_prng_.below(config_.dst_pool.size())];
+      if (d.v != s) classify(AdId{s}, d);
+    }
   } else {
     for (std::size_t i = 0; i < config_.sample_pairs; ++i) {
       const auto s = static_cast<std::uint32_t>(sample_prng_.below(n));

@@ -78,6 +78,11 @@ struct InvariantConfig {
   // (src, dst) pairs sampled per sweep; 0 = probe every ordered pair.
   std::size_t sample_pairs = 64;
   std::uint64_t sample_seed = 0x5eedf00dULL;
+  // When non-empty, sampled destinations are drawn from this pool instead
+  // of the whole AD space (paper scale: only beacon ADs are originated
+  // destinations, so probing arbitrary dsts would report vacuous
+  // black holes).
+  std::vector<AdId> dst_pool;
   // Also keep InvariantFinding records for transient violations (capped
   // at max_transient_findings). Persistent findings are always recorded
   // (they are deduped, so bounded by pairs x kinds).

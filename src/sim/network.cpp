@@ -9,10 +9,20 @@ namespace idr {
 
 // --- Node: delivery + keepalive liveness -----------------------------
 
-void Node::deliver(AdId from, std::span<const std::uint8_t> bytes) {
+namespace {
+// One process-wide keepalive frame, shared by every node's every probe.
+const Payload& keepalive_payload() {
+  static const Payload p = std::make_shared<const std::vector<std::uint8_t>>(
+      1, Node::kKeepaliveType);
+  return p;
+}
+}  // namespace
+
+void Node::deliver(AdId from, std::uint32_t slot,
+                   std::span<const std::uint8_t> bytes) {
   // Any frame heard from a neighbor -- keepalive, protocol PDU, even a
   // mangled one -- proves the neighbor is up and refreshes its hold timer.
-  if (keepalive_enabled_) note_heard(from);
+  if (keepalive_enabled_) note_heard(from, slot);
   if (bytes.size() == 1 && bytes[0] == kKeepaliveType) return;
   on_message(from, bytes);
 }
@@ -26,14 +36,10 @@ void Node::enable_keepalive(const KeepaliveConfig& config) {
   keepalive_enabled_ = keepalive_.interval_ms > 0.0;
   if (!keepalive_enabled_) return;
 
-  const SimTime now = net_->engine().now();
-  liveness_.clear();
-  for (const Adjacency& adj : net_->topo().neighbors(self_)) {
-    NeighborLiveness nl;
-    nl.last_heard = now;  // grace period: a fresh node presumes liveness
-    nl.probe_interval_ms = keepalive_.interval_ms;
-    liveness_.emplace(adj.neighbor.v, nl);
-  }
+  NeighborLiveness nl;
+  nl.last_heard = net_->engine().now();  // grace: fresh node presumes liveness
+  nl.probe_interval_ms = keepalive_.interval_ms;
+  liveness_.assign(net_->topo().neighbors(self_).size(), nl);
   schedule_keepalive_tick(keepalive_.interval_ms);
 }
 
@@ -43,19 +49,22 @@ bool Node::neighbor_alive(AdId neighbor) const {
   // will agree shortly anyway).
   if (net_ && net_->is_quarantined(neighbor)) return false;
   if (!keepalive_enabled_) return true;
-  const auto it = liveness_.find(neighbor.v);
-  return it == liveness_.end() || it->second.alive;
+  const auto link = net_->topo().find_link(self_, neighbor);
+  if (!link) return true;
+  const std::uint32_t slot = net_->topo().adjacency_slot(*link, self_);
+  return slot >= liveness_.size() || liveness_[slot].alive;
 }
 
 void Node::keepalive_tick() {
   const SimTime now = net_->engine().now();
   const SimTime hold_ms =
       keepalive_.interval_ms * static_cast<double>(keepalive_.miss_threshold);
-  for (const Adjacency& adj : net_->topo().neighbors(self_)) {
-    NeighborLiveness& nl = liveness_[adj.neighbor.v];
+  const std::span<const Adjacency> nbrs = net_->topo().neighbors(self_);
+  for (std::size_t slot = 0; slot < nbrs.size(); ++slot) {
+    const Adjacency& adj = nbrs[slot];
+    NeighborLiveness& nl = liveness_[slot];
     if (nl.alive) {
-      net_->send(self_, adj.neighbor,
-                 std::vector<std::uint8_t>{kKeepaliveType});
+      net_->send(self_, adj.neighbor, keepalive_payload());
       if (now - nl.last_heard > hold_ms) {
         // Hold timer expired: the neighbor crashed or the link silently
         // died. Declare it down and fall back to backed-off probing.
@@ -65,8 +74,7 @@ void Node::keepalive_tick() {
         on_link_change(adj.neighbor, false);
       }
     } else if (now >= nl.next_probe_at) {
-      net_->send(self_, adj.neighbor,
-                 std::vector<std::uint8_t>{kKeepaliveType});
+      net_->send(self_, adj.neighbor, keepalive_payload());
       nl.probe_interval_ms = std::min(
           nl.probe_interval_ms * keepalive_.backoff_factor,
           static_cast<double>(keepalive_.max_probe_interval_ms));
@@ -94,11 +102,10 @@ void Node::schedule_keepalive_tick(SimTime delay_ms) {
   schedule_guarded(delay_ms, [this] { keepalive_tick(); });
 }
 
-void Node::note_heard(AdId from) {
+void Node::note_heard(AdId from, std::uint32_t slot) {
   if (net_ && net_->is_quarantined(from)) return;  // no revival while isolated
-  const auto it = liveness_.find(from.v);
-  if (it == liveness_.end()) return;
-  NeighborLiveness& nl = it->second;
+  if (slot >= liveness_.size()) return;
+  NeighborLiveness& nl = liveness_[slot];
   nl.last_heard = net_->engine().now();
   if (!nl.alive) {
     nl.alive = true;
@@ -268,12 +275,12 @@ void Network::note_malformed(AdId ad) {
   total_.malformed_dropped += 1;
 }
 
-bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
+bool Network::send(AdId from, AdId to, Payload bytes) {
   Counters& c = counters_[from.v];
   c.msgs_sent += 1;
-  c.bytes_sent += bytes.size();
+  c.bytes_sent += bytes->size();
   total_.msgs_sent += 1;
-  total_.bytes_sent += bytes.size();
+  total_.bytes_sent += bytes->size();
 
   const auto link = topo_.find_link(from, to);
   if (!link || !topo_.link(*link).up) {
@@ -283,7 +290,7 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
   }
   const double base_delay =
       topo_.link(*link).delay_ms +
-      per_byte_delay_ms_ * static_cast<double>(bytes.size());
+      per_byte_delay_ms_ * static_cast<double>(bytes->size());
 
   // Adversarial per-frame faults, decided here from one seeded stream so
   // the whole schedule is a pure function of the seed.
@@ -295,8 +302,7 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
     total_.msgs_duplicated += 1;
   }
   for (int i = 0; i < copies; ++i) {
-    std::vector<std::uint8_t> payload =
-        (i + 1 < copies) ? bytes : std::move(bytes);
+    Payload payload = (i + 1 < copies) ? bytes : std::move(bytes);
     double delay = base_delay;
     if (faults_.reorder_rate > 0.0 &&
         fault_prng_.bernoulli(faults_.reorder_rate)) {
@@ -305,15 +311,21 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
       total_.msgs_reordered += 1;
     }
     bool corrupted = false;
-    if (faults_.corrupt_rate > 0.0 && !payload.empty() &&
+    if (faults_.corrupt_rate > 0.0 && !payload->empty() &&
         fault_prng_.bernoulli(faults_.corrupt_rate)) {
+      // Copy-on-write: the mangled frame must not contaminate other
+      // receivers of a shared broadcast payload.
       corrupted = true;
+      auto mangled =
+          std::make_shared<std::vector<std::uint8_t>>(*payload);
       const std::uint64_t flips = 1 + fault_prng_.below(3);
       for (std::uint64_t f = 0; f < flips; ++f) {
         const std::size_t at =
-            static_cast<std::size_t>(fault_prng_.below(payload.size()));
-        payload[at] ^= static_cast<std::uint8_t>(1u << fault_prng_.below(8));
+            static_cast<std::size_t>(fault_prng_.below(mangled->size()));
+        (*mangled)[at] ^=
+            static_cast<std::uint8_t>(1u << fault_prng_.below(8));
       }
+      payload = std::move(mangled);
       counters_[to.v].msgs_corrupted += 1;
       total_.msgs_corrupted += 1;
     }
@@ -322,9 +334,8 @@ bool Network::send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
   return true;
 }
 
-void Network::deliver_frame(AdId from, AdId to, LinkId link,
-                            std::vector<std::uint8_t> bytes, double delay_ms,
-                            bool corrupted) {
+void Network::deliver_frame(AdId from, AdId to, LinkId link, Payload bytes,
+                            double delay_ms, bool corrupted) {
   engine_.after(delay_ms, [this, from, to, link, corrupted,
                            payload = std::move(bytes)]() {
     // Link may have gone down while the message was in flight.
@@ -365,7 +376,7 @@ void Network::deliver_frame(AdId from, AdId to, LinkId link,
     counters_[to.v].msgs_delivered += 1;
     total_.msgs_delivered += 1;
     last_delivery_ = engine_.now();
-    n->deliver(from, payload);
+    n->deliver(from, topo_.adjacency_slot(link, to), *payload);
   });
 }
 

@@ -22,7 +22,6 @@
 #include <functional>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "proto/common/counters.hpp"
@@ -33,6 +32,15 @@
 namespace idr {
 
 class Network;
+
+// Immutable frame payload, shared between the sender's copy, duplicated
+// deliveries, and every receiver of a broadcast -- one allocation per
+// encoded PDU instead of one per (neighbor, copy).
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+[[nodiscard]] inline Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
 
 // --- Byzantine / misconfigured-AD fault model ------------------------
 // Orthogonal to the delivery faults above: a misbehaving AD runs the
@@ -128,8 +136,10 @@ class Node {
 
   // Entry point the Network delivers through (non-virtual): refreshes the
   // sender's liveness, consumes keepalive frames, dispatches the rest to
-  // on_message.
-  void deliver(AdId from, std::span<const std::uint8_t> bytes);
+  // on_message. `slot` is the sender's position in this node's adjacency
+  // list (Topology::adjacency_slot), so liveness lookup is an array index.
+  void deliver(AdId from, std::uint32_t slot,
+               std::span<const std::uint8_t> bytes);
 
   // Turn on keepalive/hold-timer liveness for this node (callable any
   // time after attach). Chosen well clear of every protocol's small
@@ -162,11 +172,13 @@ class Node {
 
   void keepalive_tick();
   void schedule_keepalive_tick(SimTime delay_ms);
-  void note_heard(AdId from);
+  void note_heard(AdId from, std::uint32_t slot);
 
   KeepaliveConfig keepalive_;
   bool keepalive_enabled_ = false;
-  std::unordered_map<std::uint32_t, NeighborLiveness> liveness_;
+  // Indexed by adjacency slot (position in topo().neighbors(self_)); a
+  // dense array because liveness refresh runs on every delivered frame.
+  std::vector<NeighborLiveness> liveness_;
 };
 
 class Network {
@@ -182,7 +194,12 @@ class Network {
   // Send encoded bytes from `from` to adjacent `to`. Returns false (and
   // counts a drop) if there is no live link. Delivery is delayed by the
   // link's delay plus per-message transmission time.
-  bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes);
+  bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
+    return send(from, to, make_payload(std::move(bytes)));
+  }
+  // Shared-payload variant: broadcasts reuse one allocation across all
+  // receivers (corruption faults copy-on-write the affected frame only).
+  bool send(AdId from, AdId to, Payload payload);
 
   // Change a link's state and notify both endpoint nodes immediately
   // (unless notifications are disabled).
@@ -300,9 +317,8 @@ class Network {
  private:
   friend class Node;
 
-  void deliver_frame(AdId from, AdId to, LinkId link,
-                     std::vector<std::uint8_t> bytes, double delay_ms,
-                     bool corrupted);
+  void deliver_frame(AdId from, AdId to, LinkId link, Payload payload,
+                     double delay_ms, bool corrupted);
 
   Engine& engine_;
   Topology& topo_;

@@ -141,7 +141,7 @@ ArchRunOutput run_one(const std::string& arch, const SimCase& c,
     }
   }
 
-  Engine engine;
+  Engine engine(options.scheduler);
   Network net(engine, topo);
 
   std::vector<ByzantineSpec> byz;

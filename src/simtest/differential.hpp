@@ -87,6 +87,9 @@ struct DiffOptions {
   // class (queries the default-class FIB for every flow), a seeded
   // known-bad defect the shrinker acceptance tests minimize.
   bool inject_probe_bug = false;
+  // Event-scheduler backend; the engine-equivalence tests run the same
+  // seed under both backends and require identical results.
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
 };
 
 struct DiffResult {

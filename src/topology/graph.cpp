@@ -45,6 +45,13 @@ AdId Topology::add_ad(AdClass cls, AdRole role, std::string name) {
   return id;
 }
 
+namespace {
+std::uint64_t pair_key(AdId x, AdId y) noexcept {
+  if (y < x) std::swap(x, y);
+  return (static_cast<std::uint64_t>(x.v) << 32) | y.v;
+}
+}  // namespace
+
 LinkId Topology::add_link(AdId x, AdId y, LinkClass cls, double delay_ms,
                           std::uint32_t metric) {
   IDR_CHECK(x.v < ads_.size() && y.v < ads_.size());
@@ -52,9 +59,13 @@ LinkId Topology::add_link(AdId x, AdId y, LinkClass cls, double delay_ms,
   IDR_CHECK_MSG(!find_link(x, y).has_value(), "duplicate inter-AD link");
   if (y < x) std::swap(x, y);
   const LinkId id{static_cast<std::uint32_t>(links_.size())};
-  links_.push_back(Link{id, x, y, cls, delay_ms, metric, /*up=*/true});
+  const auto slot_a = static_cast<std::uint32_t>(adj_[x.v].size());
+  const auto slot_b = static_cast<std::uint32_t>(adj_[y.v].size());
+  links_.push_back(
+      Link{id, x, y, cls, delay_ms, metric, /*up=*/true, slot_a, slot_b});
   adj_[x.v].push_back(Adjacency{y, id});
   adj_[y.v].push_back(Adjacency{x, id});
+  link_index_.try_emplace(pair_key(x, y), id);
   return id;
 }
 
@@ -87,11 +98,15 @@ std::vector<Adjacency> Topology::live_neighbors(AdId id) const {
 }
 
 std::optional<LinkId> Topology::find_link(AdId x, AdId y) const {
-  if (x.v >= adj_.size()) return std::nullopt;
-  for (const Adjacency& adj : adj_[x.v]) {
-    if (adj.neighbor == y) return adj.link;
-  }
+  if (x.v >= adj_.size() || y.v >= adj_.size() || x == y) return std::nullopt;
+  if (const LinkId* id = link_index_.find(pair_key(x, y))) return *id;
   return std::nullopt;
+}
+
+std::uint32_t Topology::adjacency_slot(LinkId link_id, AdId from) const {
+  const Link& l = link(link_id);
+  IDR_CHECK(l.a == from || l.b == from);
+  return l.a == from ? l.slot_a : l.slot_b;
 }
 
 void Topology::set_link_up(LinkId id, bool up) {

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "util/dense_map.hpp"
+
 namespace idr {
 
 // Strong identifier for an Administrative Domain.
@@ -79,6 +81,11 @@ struct Link {
   double delay_ms = 1.0;   // propagation + processing delay for the DES
   std::uint32_t metric = 1;  // administrative metric (cost proxy)
   bool up = true;
+  // Position of this link in each endpoint's adjacency list, so per-link
+  // receiver state (e.g. neighbor liveness) can live in a dense array
+  // indexed by adjacency slot instead of a hash map keyed by AdId.
+  std::uint32_t slot_a = 0;
+  std::uint32_t slot_b = 0;
 };
 
 // An entry in an AD's adjacency list.
@@ -118,7 +125,11 @@ class Topology {
   // Live neighbors only (links that are up).
   [[nodiscard]] std::vector<Adjacency> live_neighbors(AdId id) const;
 
+  // O(1) via a hash index over packed endpoint pairs.
   [[nodiscard]] std::optional<LinkId> find_link(AdId x, AdId y) const;
+
+  // Adjacency-list position of the link from->peer in `from`'s list.
+  [[nodiscard]] std::uint32_t adjacency_slot(LinkId link, AdId from) const;
 
   void set_link_up(LinkId id, bool up);
 
@@ -141,6 +152,8 @@ class Topology {
   std::vector<Ad> ads_;
   std::vector<Link> links_;
   std::vector<std::vector<Adjacency>> adj_;
+  // Packed (a.v << 32 | b.v) with a.v < b.v -> LinkId, for O(1) find_link.
+  DenseMap<std::uint64_t, LinkId> link_index_;
 };
 
 }  // namespace idr

@@ -1,0 +1,233 @@
+// Insertion-ordered open-addressing hash map for integer keys.
+//
+// Keys and values live in parallel dense vectors (struct-of-arrays); a
+// separate open-addressing slot table maps key -> dense index. This gives
+// the routing tables (FIBs/RIBs/LSDBs) three properties std::unordered_map
+// lacks at paper scale (~1e5 ADs):
+//  - iteration touches contiguous memory (the DRMSim lesson: memory layout
+//    is the first wall for large routing simulation, not CPU);
+//  - iteration order is insertion order, which is a deterministic function
+//    of the event sequence -- never of hash-table internals -- so protocol
+//    behavior that depends on table walks is reproducible by construction;
+//  - ~8 bytes of index overhead per entry instead of a heap node per entry.
+//
+// erase() swap-removes from the dense arrays (the last element moves into
+// the hole), so erasing perturbs relative order of the tail element; all
+// call sites in this repository either tolerate that or re-sort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace idr {
+
+template <typename K, typename V>
+class DenseMap {
+ public:
+  DenseMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    slots_.clear();
+    tombstones_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    keys_.reserve(n);
+    values_.reserve(n);
+    if (slot_count_for(n) > slots_.size()) rebuild_slots(slot_count_for(n));
+  }
+
+  [[nodiscard]] V* find(K key) noexcept {
+    const std::size_t i = find_index(key);
+    return i == kNpos ? nullptr : &values_[i];
+  }
+  [[nodiscard]] const V* find(K key) const noexcept {
+    const std::size_t i = find_index(key);
+    return i == kNpos ? nullptr : &values_[i];
+  }
+  [[nodiscard]] bool contains(K key) const noexcept {
+    return find_index(key) != kNpos;
+  }
+
+  // Inserts a default-constructed value if the key is absent.
+  V& operator[](K key) {
+    return try_emplace(key).first;
+  }
+
+  // Returns {value, inserted}.
+  template <typename... Args>
+  std::pair<V&, bool> try_emplace(K key, Args&&... args) {
+    maybe_grow();
+    std::size_t slot = probe_start(key);
+    std::size_t insert_at = kNpos;
+    for (;;) {
+      const std::uint32_t s = slots_[slot];
+      if (s == kEmpty) {
+        if (insert_at == kNpos) insert_at = slot;
+        break;
+      }
+      if (s == kTombstone) {
+        if (insert_at == kNpos) insert_at = slot;
+      } else if (keys_[s - kBase] == key) {
+        return {values_[s - kBase], false};
+      }
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+    if (slots_[insert_at] == kTombstone) --tombstones_;
+    slots_[insert_at] = static_cast<std::uint32_t>(keys_.size()) + kBase;
+    keys_.push_back(key);
+    values_.emplace_back(std::forward<Args>(args)...);
+    return {values_.back(), true};
+  }
+
+  bool erase(K key) {
+    if (slots_.empty()) return false;
+    std::size_t slot = probe_start(key);
+    for (;;) {
+      const std::uint32_t s = slots_[slot];
+      if (s == kEmpty) return false;
+      if (s != kTombstone && keys_[s - kBase] == key) {
+        const std::size_t i = s - kBase;
+        slots_[slot] = kTombstone;
+        ++tombstones_;
+        const std::size_t last = keys_.size() - 1;
+        if (i != last) {
+          // Swap-remove: move the tail entry into the hole and repoint
+          // its slot at the new index.
+          keys_[i] = keys_[last];
+          values_[i] = std::move(values_[last]);
+          repoint(keys_[i], static_cast<std::uint32_t>(i) + kBase);
+        }
+        keys_.pop_back();
+        values_.pop_back();
+        return true;
+      }
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+  }
+
+  [[nodiscard]] const std::vector<K>& keys() const noexcept { return keys_; }
+  [[nodiscard]] std::vector<V>& values() noexcept { return values_; }
+  [[nodiscard]] const std::vector<V>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] K key_at(std::size_t i) const noexcept { return keys_[i]; }
+  [[nodiscard]] V& value_at(std::size_t i) noexcept { return values_[i]; }
+  [[nodiscard]] const V& value_at(std::size_t i) const noexcept {
+    return values_[i];
+  }
+
+  // Iteration in insertion order; dereferencing yields a proxy with
+  // reference members, so use `for (auto [key, value] : map)`.
+  template <bool Const>
+  class Iter {
+   public:
+    using Map = std::conditional_t<Const, const DenseMap, DenseMap>;
+    using Val = std::conditional_t<Const, const V, V>;
+    struct Ref {
+      const K& first;
+      Val& second;
+    };
+    Iter(Map* m, std::size_t i) noexcept : m_(m), i_(i) {}
+    Ref operator*() const noexcept { return {m_->keys_[i_], m_->values_[i_]}; }
+    Iter& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iter& other) const noexcept { return i_ != other.i_; }
+    bool operator==(const Iter& other) const noexcept { return i_ == other.i_; }
+
+   private:
+    Map* m_;
+    std::size_t i_;
+  };
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() noexcept { return {this, 0}; }
+  iterator end() noexcept { return {this, keys_.size()}; }
+  const_iterator begin() const noexcept { return {this, 0}; }
+  const_iterator end() const noexcept { return {this, keys_.size()}; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0;
+  static constexpr std::uint32_t kTombstone = 1;
+  static constexpr std::uint32_t kBase = 2;  // slot value = dense index + 2
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  [[nodiscard]] std::size_t probe_start(K key) const noexcept {
+    return static_cast<std::size_t>(mix(static_cast<std::uint64_t>(key))) &
+           (slots_.size() - 1);
+  }
+
+  [[nodiscard]] static std::size_t slot_count_for(std::size_t n) noexcept {
+    std::size_t c = 16;
+    while (c * 3 < n * 4 + 4) c *= 2;  // keep load factor under 0.75
+    return c;
+  }
+
+  [[nodiscard]] std::size_t find_index(K key) const noexcept {
+    if (slots_.empty()) return kNpos;
+    std::size_t slot = probe_start(key);
+    for (;;) {
+      const std::uint32_t s = slots_[slot];
+      if (s == kEmpty) return kNpos;
+      if (s != kTombstone && keys_[s - kBase] == key) return s - kBase;
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void repoint(K key, std::uint32_t slot_value) noexcept {
+    std::size_t slot = probe_start(key);
+    for (;;) {
+      const std::uint32_t s = slots_[slot];
+      if (s >= kBase && keys_[s - kBase] == key) {
+        slots_[slot] = slot_value;
+        return;
+      }
+      slot = (slot + 1) & (slots_.size() - 1);
+    }
+  }
+
+  void maybe_grow() {
+    if (slots_.empty()) {
+      rebuild_slots(16);
+      return;
+    }
+    if ((keys_.size() + tombstones_ + 1) * 4 >= slots_.size() * 3) {
+      rebuild_slots(slot_count_for(keys_.size() + 1));
+    }
+  }
+
+  void rebuild_slots(std::size_t nslots) {
+    slots_.assign(nslots, kEmpty);
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      std::size_t slot = probe_start(keys_[i]);
+      while (slots_[slot] != kEmpty) slot = (slot + 1) & (nslots - 1);
+      slots_[slot] = static_cast<std::uint32_t>(i) + kBase;
+    }
+  }
+
+  std::vector<K> keys_;
+  std::vector<V> values_;
+  std::vector<std::uint32_t> slots_;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace idr

@@ -81,4 +81,22 @@ std::vector<std::uint32_t> Reader::u32_list() {
   return out;
 }
 
+std::string_view Reader::str_view() {
+  const std::uint16_t len = u16();
+  if (!take(len)) return {};
+  const std::string_view out(
+      reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+bool Reader::u32_list_into(std::vector<std::uint32_t>& out) {
+  out.clear();
+  const std::uint16_t len = u16();
+  if (!take(static_cast<std::size_t>(len) * 4)) return false;
+  out.reserve(len);
+  for (std::uint16_t i = 0; i < len; ++i) out.push_back(u32());
+  return true;
+}
+
 }  // namespace idr::wire

@@ -39,6 +39,11 @@ class Writer {
   }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
+  // Reuse the buffer across encodes (hot paths keep one Writer and clear
+  // it per PDU instead of reallocating).
+  void clear() noexcept { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   std::vector<std::uint8_t> buf_;
 };
@@ -54,6 +59,12 @@ class Reader {
   std::uint64_t u64();
   std::string str();
   std::vector<std::uint32_t> u32_list();
+
+  // Allocation-free variants for hot decode paths.
+  // View into the underlying buffer (valid while the buffer lives).
+  std::string_view str_view();
+  // Decode a u32 list into `out` (cleared first); false on short read.
+  bool u32_list_into(std::vector<std::uint32_t>& out);
 
   // True iff no read has run past the end of the buffer so far.
   [[nodiscard]] bool ok() const noexcept { return ok_; }

@@ -1,0 +1,217 @@
+// Scheduler unit tests: the calendar-queue backend must implement the
+// exact (time, seq) total order of the reference binary heap -- FIFO
+// within a timestamp, stable across bucket overflow/resize and the
+// sparse-schedule direct-search fallback -- plus the Engine-level
+// contracts the protocols lean on: past-scheduling clamps to now(), and
+// generation-guarded node timers die with their node.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "topology/graph.hpp"
+#include "util/prng.hpp"
+
+namespace idr {
+namespace {
+
+using detail::CalendarQueue;
+using detail::SimEvent;
+
+SimEvent ev(SimTime t, std::uint64_t seq) { return SimEvent{t, seq, {}}; }
+
+// --- CalendarQueue in isolation ---------------------------------------
+
+TEST(CalendarQueue, SameTimestampPopsInSequenceOrder) {
+  CalendarQueue q;
+  // Interleave two timestamps; within each, seq must decide.
+  for (std::uint64_t s = 0; s < 64; ++s) q.push(ev(s % 2 ? 5.0 : 3.0, s));
+  ASSERT_EQ(q.size(), 64u);
+  SimTime last_t = -1.0;
+  std::uint64_t last_seq = 0;
+  while (!q.empty()) {
+    EXPECT_EQ(q.min_time(), q.min_time());  // peek is stable
+    const SimEvent e = q.pop();
+    EXPECT_GE(e.t, last_t);
+    if (e.t == last_t) {
+      EXPECT_GT(e.seq, last_seq);
+    }
+    last_t = e.t;
+    last_seq = e.seq;
+  }
+}
+
+TEST(CalendarQueue, GrowsAndShrinksAcrossTheLoadFactorBounds) {
+  CalendarQueue q;
+  EXPECT_EQ(q.bucket_count(), CalendarQueue::kMinBuckets);
+  Prng prng(42);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4096; ++i) {
+    q.push(ev(static_cast<SimTime>(prng.below(100'000)) * 0.25, seq++));
+  }
+  // Overflow forced rehashes: > 2 events per bucket triggers a doubling.
+  EXPECT_GT(q.bucket_count(), CalendarQueue::kMinBuckets);
+  EXPECT_GE(2 * q.bucket_count(), q.size());
+  EXPECT_GT(q.width(), 0.0);
+
+  // Draining pops in nondecreasing (t, seq) order and shrinks the ring
+  // back down to the floor.
+  SimTime last_t = -1.0;
+  std::uint64_t last_seq = 0;
+  while (!q.empty()) {
+    const SimEvent e = q.pop();
+    ASSERT_GE(e.t, last_t);
+    if (e.t == last_t) {
+      ASSERT_GT(e.seq, last_seq);
+    }
+    last_t = e.t;
+    last_seq = e.seq;
+  }
+  EXPECT_EQ(q.bucket_count(), CalendarQueue::kMinBuckets);
+}
+
+TEST(CalendarQueue, SparseFarFutureScheduleUsesTheFallbackCorrectly) {
+  // Events many ring-widths apart force the direct-search fallback; order
+  // must still be exact, including a same-time tie in the far future.
+  CalendarQueue q;
+  q.push(ev(1e9, 0));
+  q.push(ev(1.0, 1));
+  q.push(ev(1e9, 2));
+  q.push(ev(5e8, 3));
+  EXPECT_EQ(q.pop().seq, 1u);
+  EXPECT_EQ(q.pop().seq, 3u);
+  EXPECT_EQ(q.pop().seq, 0u);
+  EXPECT_EQ(q.pop().seq, 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, PushBehindTheScanPositionIsStillFound) {
+  // Advance the scan deep into the schedule, then push an earlier event
+  // (the "scheduled now after the scan moved on" case): it must pop first.
+  CalendarQueue q;
+  for (std::uint64_t s = 0; s < 32; ++s) {
+    q.push(ev(1000.0 + static_cast<SimTime>(s), s));
+  }
+  while (q.size() > 8) q.pop();
+  q.push(ev(0.5, 100));
+  EXPECT_EQ(q.min_time(), 0.5);
+  EXPECT_EQ(q.pop().seq, 100u);
+}
+
+// --- the two backends against each other ------------------------------
+
+TEST(Scheduler, BackendsAgreeOnARandomInterleavedSchedule) {
+  // Same seeded mix of schedule-now / schedule-later / duplicate
+  // timestamps fed to both engines, including events scheduled from
+  // inside callbacks; firing order must be identical.
+  std::vector<int> reference;
+  for (const SchedulerKind kind :
+       {SchedulerKind::kCalendar, SchedulerKind::kBinaryHeap}) {
+    std::vector<int> order;
+    Engine engine(kind);
+    Prng prng(7);
+    int next_id = 0;
+    std::function<void(int)> spawn = [&](int depth) {
+      const int id = next_id++;
+      const SimTime delay = static_cast<SimTime>(prng.below(8));  // ties!
+      engine.after(delay, [&, id, depth] {
+        order.push_back(id);
+        if (depth > 0) {
+          spawn(depth - 1);
+          spawn(depth - 1);
+        }
+      });
+    };
+    for (int i = 0; i < 16; ++i) spawn(4);
+    engine.run();
+    if (kind == SchedulerKind::kCalendar) {
+      reference = order;
+    } else {
+      EXPECT_EQ(order, reference);
+    }
+  }
+}
+
+// --- Engine contracts --------------------------------------------------
+
+TEST(Scheduler, AtClampsPastTimestampsToNow) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "Engine::at asserts on past timestamps in debug builds; "
+                  "the clamp is release-mode behavior";
+#else
+  Engine engine;
+  engine.run_until(100.0);
+  ASSERT_EQ(engine.now(), 100.0);
+  std::vector<int> order;
+  engine.at(100.0, [&] { order.push_back(0); });
+  engine.at(50.0, [&] { order.push_back(1); });  // past: clamps to 100
+  engine.at(100.0, [&] { order.push_back(2); });
+  SimTime fired_at = -1.0;
+  engine.at(25.0, [&] { fired_at = engine.now(); });
+  engine.run();
+  // The clamped events run at now(), FIFO with everything else due now.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(fired_at, 100.0);
+  EXPECT_EQ(engine.now(), 100.0);
+#endif
+}
+
+TEST(Scheduler, RunUntilAdvancesTheClockPastAnEmptyQueue) {
+  Engine engine;
+  EXPECT_EQ(engine.run_until(40.0), 0u);
+  EXPECT_EQ(engine.now(), 40.0);
+}
+
+// --- generation-guarded node timers ------------------------------------
+
+class TimerNode : public Node {
+ public:
+  TimerNode(int* fired, SimTime delay) : fired_(fired), delay_(delay) {}
+  void start() override {
+    schedule_guarded(delay_, [this] { ++*fired_; });
+  }
+  void on_message(AdId, std::span<const std::uint8_t>) override {}
+
+ private:
+  int* fired_;
+  SimTime delay_;
+};
+
+TEST(Scheduler, CrashCancelsGuardedTimersAndRestartRearmsThem) {
+  Topology topo;
+  const AdId a = topo.add_ad(AdClass::kBackbone, AdRole::kTransit, "a");
+  const AdId b = topo.add_ad(AdClass::kCampus, AdRole::kStub, "b");
+  topo.add_link(a, b, LinkClass::kHierarchical);
+
+  Engine engine;
+  Network net(engine, topo);
+  int fired_a = 0;
+  int fired_b = 0;
+  net.set_node_factory([&](AdId ad) -> std::unique_ptr<Node> {
+    return std::make_unique<TimerNode>(ad == a ? &fired_a : &fired_b, 10.0);
+  });
+  net.attach(a, std::make_unique<TimerNode>(&fired_a, 10.0));
+  net.attach(b, std::make_unique<TimerNode>(&fired_b, 10.0));
+  net.start_all();
+
+  const std::uint64_t gen_before = net.generation(a);
+  engine.after(5.0, [&] { net.crash(a); });  // before a's timer fires
+  engine.run_until(20.0);
+  EXPECT_EQ(fired_a, 0) << "guarded timer outlived its crashed node";
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_GT(net.generation(a), gen_before);
+
+  // A restarted node is a fresh generation: its own timers run again.
+  net.restart(a);
+  engine.run_until(40.0);
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_EQ(fired_b, 1);
+}
+
+}  // namespace
+}  // namespace idr
