@@ -1,15 +1,22 @@
 #include "core/chaos.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
 #include "core/design_harness.hpp"
+#include "core/scale_profile.hpp"
 #include "policy/generator.hpp"
+#include "proto/ecma/ecma_node.hpp"
 #include "proto/ecma/partial_order.hpp"
+#include "proto/idrp/idrp_node.hpp"
+#include "proto/lshh/lshh_node.hpp"
+#include "proto/orwg/orwg_node.hpp"
 #include "sim/failure.hpp"
 #include "topology/figure1.hpp"
 #include "util/check.hpp"
+#include "util/prng.hpp"
 
 namespace idr {
 
@@ -120,7 +127,19 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
 
   InvariantMonitor monitor(net, params.invariants, probe);
   monitor.set_reachable_fn(reachable);
-  net.set_churn_observer([&monitor] { monitor.note_fault(); });
+  const std::size_t link_cls = monitor.register_fault_class("link");
+  const std::size_t node_cls = monitor.register_fault_class("node");
+  const SimTime link_window = params.reconverge.link_ms;
+  const SimTime node_window = params.reconverge.node_ms;
+  net.set_churn_observer(
+      [&monitor, link_cls, node_cls, link_window,
+       node_window](Network::ChurnKind kind) {
+        if (kind == Network::ChurnKind::kNode) {
+          monitor.note_fault(node_cls, node_window);
+        } else {
+          monitor.note_fault(link_cls, link_window);
+        }
+      });
   monitor.start(params.horizon_ms);
 
   // --- policy-compliance auditor (Byzantine runs only) ----------------
@@ -165,6 +184,272 @@ ChaosResult run_chaos(const std::string& arch, const ChaosParams& params) {
   result.defended = defended;
   if (auditor) result.audit = auditor->stats();
   result.defense_rejections = result.totals.defense_rejections;
+  return result;
+}
+
+// --- Paper-scale failure & recovery ----------------------------------
+
+const char* to_string(StormFamily family) {
+  switch (family) {
+    case StormFamily::kFlapStorm: return "flap-storm";
+    case StormFamily::kWithdrawStorm: return "withdraw-storm";
+    case StormFamily::kPartition: return "partition";
+    case StormFamily::kCoreOutage: return "core-outage";
+  }
+  return "?";
+}
+
+const std::vector<StormFamily>& storm_families() {
+  static const std::vector<StormFamily> kAll = {
+      StormFamily::kFlapStorm, StormFamily::kWithdrawStorm,
+      StormFamily::kPartition, StormFamily::kCoreOutage};
+  return kAll;
+}
+
+ScaleChaosResult run_scale_chaos(const std::string& arch,
+                                 const ScaleChaosParams& params) {
+  ScaleProfile profile =
+      make_scale_profile(params.target_ads, params.seed, params.beacon_count);
+  Topology& topo = profile.topo;
+
+  Engine engine(SchedulerKind::kCalendar);
+  Network net(engine, topo);
+  ScaleFactoryOptions fopts;
+  fopts.damping = params.damping;
+  fopts.ls_holddown_ms = params.ls_holddown_ms;
+  Network::NodeFactory factory = make_scale_factory(arch, profile, fopts);
+  net.set_node_factory(factory);
+  for (const Ad& ad : topo.ads()) net.attach(ad.id, factory(ad.id));
+  // Storms are pure link events and failure detection is the oracle's
+  // job here: per-link keepalive probing at 1e4+ ADs would bury the
+  // storm under liveness traffic (bench_chaos soaks the keepalive path
+  // at Figure 1 scale).
+  net.set_link_notifications(true);
+  net.start_all();
+
+  ScaleChaosResult result;
+  result.arch = arch;
+  result.storm = params.storm;
+  result.ads = static_cast<std::uint32_t>(topo.ad_count());
+  result.transit_ads = static_cast<std::uint32_t>(profile.transits.size());
+
+  // Cold convergence first: the storm hits a settled network.
+  engine.run();
+  IDR_CHECK_MSG(engine.empty(), "scale chaos: cold start did not converge");
+  result.converge_ms = engine.now();
+
+  // --- monitor: beacon destinations, stratified source slice ----------
+  InvariantConfig inv = params.invariants;
+  inv.dst_pool = profile.beacons;
+  if (inv.src_pool.empty()) {
+    const std::size_t want = 256;
+    const std::size_t step =
+        std::max<std::size_t>(1, topo.ad_count() / want);
+    for (std::size_t v = 0; v < topo.ad_count(); v += step) {
+      inv.src_pool.push_back(AdId{static_cast<std::uint32_t>(v)});
+    }
+  }
+  InvariantMonitor monitor(
+      net, inv, make_pair_probe(make_design_probe(arch, net, topo)));
+  // Pure hierarchy: every live path is up*down*-shaped, so BFS ground
+  // truth (the monitor's default) is exact for all four design points.
+  const std::size_t storm_cls =
+      monitor.register_fault_class(to_string(params.storm));
+
+  SimTime window = params.invariants.reconverge_window_ms;
+  switch (params.storm) {
+    case StormFamily::kFlapStorm: window = params.windows.flap_ms; break;
+    case StormFamily::kWithdrawStorm:
+      window = params.windows.withdraw_ms;
+      break;
+    case StormFamily::kPartition:
+      window = params.windows.partition_ms;
+      break;
+    case StormFamily::kCoreOutage:
+      window = params.windows.core_outage_ms;
+      break;
+  }
+  if (params.damping.enabled) {
+    // A damped route is EXPECTED to stay dark past the last transition:
+    // its unreachability window is bounded by the worst-case release
+    // time, so fold that bound into the grace window rather than calling
+    // the mechanism's designed behavior a persistent violation.
+    window += params.damping.half_life_ms *
+                  std::log2(params.damping.max_penalty /
+                            params.damping.reuse_threshold) +
+              200.0;
+  }
+  window += params.ls_holddown_ms;  // held-down originations lag the fault
+
+  net.set_churn_observer([&monitor, storm_cls, window](Network::ChurnKind) {
+    monitor.note_fault(storm_cls, window);
+  });
+
+  // --- storm schedule --------------------------------------------------
+  FailureInjector injector(net);
+  const SimTime t0 = result.converge_ms + params.onset_delay_ms;
+  result.storm_begin_ms = t0;
+  SimTime last = t0;
+  std::uint64_t storm_state = params.seed ^ 0x73746f726dULL;  // "storm"
+  Prng prng(splitmix64(storm_state));
+
+  // Churn snapshot at storm begin: scheduled BEFORE any injector event
+  // at the same timestamp (same-time events run in insertion order).
+  std::uint64_t msgs_at_begin = 0;
+  engine.at(t0,
+            [&net, &msgs_at_begin] { msgs_at_begin = net.total().msgs_sent; });
+
+  switch (params.storm) {
+    case StormFamily::kFlapStorm: {
+      std::vector<LinkId> core_links;
+      for (const Link& l : topo.links()) {
+        if (topo.can_transit(l.a) && topo.can_transit(l.b)) {
+          core_links.push_back(l.id);
+        }
+      }
+      prng.shuffle(core_links);
+      const std::size_t n = std::min(params.flap_links, core_links.size());
+      IDR_CHECK_MSG(n > 0, "scale chaos: no transit-transit links to flap");
+      const SimTime down_ms =
+          params.flap_period_ms * std::clamp(params.flap_duty, 0.01, 0.99);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Random phase so the per-link processes interleave instead of
+        // beating in lockstep.
+        const SimTime phase =
+            params.flap_period_ms *
+            (static_cast<double>(prng.below(1024)) / 1024.0);
+        injector.flap_link(core_links[i], t0 + phase, params.flap_period_ms,
+                           params.flap_duty, params.flap_cycles);
+        last = std::max(last, t0 + phase +
+                                  (params.flap_cycles - 1) *
+                                      params.flap_period_ms +
+                                  down_ms);
+      }
+      break;
+    }
+    case StormFamily::kWithdrawStorm: {
+      std::vector<AdId> pool = profile.beacons;
+      prng.shuffle(pool);
+      const std::size_t n = std::min(params.withdraw_beacons, pool.size());
+      IDR_CHECK_MSG(n > 0, "scale chaos: no beacons to withdraw");
+      for (std::uint32_t w = 0; w < params.withdraw_waves; ++w) {
+        const SimTime wave_at =
+            t0 + w * (params.withdraw_down_ms + params.withdraw_gap_ms);
+        for (std::size_t i = 0; i < n; ++i) {
+          // Single-homed stubs: the one access link is the beacon's
+          // entire attachment; down = the destination goes dark.
+          const auto adjs = topo.neighbors(pool[i]);
+          IDR_CHECK_MSG(!adjs.empty(), "beacon with no access link");
+          injector.fail_link_at(adjs.front().link, wave_at,
+                                params.withdraw_down_ms);
+        }
+        last = std::max(last, wave_at + params.withdraw_down_ms);
+      }
+      break;
+    }
+    case StormFamily::kPartition: {
+      // Cut the first regional's entire transit attachment (uplink plus
+      // any core laterals): its campus subtree is off the backbone until
+      // the heal.
+      AdId regional = kNoAd;
+      for (const Ad& ad : topo.ads()) {
+        if (ad.cls == AdClass::kRegional) {
+          regional = ad.id;
+          break;
+        }
+      }
+      IDR_CHECK_MSG(regional.valid(), "scale chaos: no regional AD");
+      std::size_t cut = 0;
+      for (const Adjacency& adj : topo.neighbors(regional)) {
+        if (topo.can_transit(adj.neighbor)) {
+          injector.fail_link_at(adj.link, t0, params.outage_ms);
+          ++cut;
+        }
+      }
+      IDR_CHECK_MSG(cut > 0, "scale chaos: regional had no uplink");
+      last = t0 + params.outage_ms;
+      break;
+    }
+    case StormFamily::kCoreOutage: {
+      AdId backbone = kNoAd;
+      for (const Ad& ad : topo.ads()) {
+        if (ad.cls == AdClass::kBackbone) {
+          backbone = ad.id;
+          break;
+        }
+      }
+      IDR_CHECK_MSG(backbone.valid(), "scale chaos: no backbone AD");
+      injector.fail_node_links_at(backbone, t0, params.outage_ms);
+      last = t0 + params.outage_ms;
+      break;
+    }
+  }
+  result.storm_end_ms = last;
+
+  // Storm-window churn is measured to a fixed settle probe shortly after
+  // the last transition, so the damped/undamped comparison integrates
+  // the same interval.
+  const SimTime settle_at = last + 200.0;
+  std::uint64_t msgs_at_settle = 0;
+  engine.at(settle_at, [&net, &msgs_at_settle] {
+    msgs_at_settle = net.total().msgs_sent;
+  });
+
+  const SimTime horizon =
+      last + std::max(params.tail_ms, window + 1'000.0);
+  result.horizon_ms = horizon;
+  monitor.start(horizon);
+
+  // No keepalives, no periodic refresh: the queue drains once every
+  // storm reaction, release timer and monitor sweep has fired.
+  engine.run();
+  IDR_CHECK_MSG(engine.empty(), "scale chaos: run hit the event cap");
+
+  result.invariants = monitor.stats();
+  result.persistent_findings = monitor.persistent_findings();
+  result.totals = net.total();
+  result.counter_fingerprint = counter_fingerprint(net, topo);
+  result.storm_transitions = injector.failures_injected();
+  result.updates_during_storm = msgs_at_settle - msgs_at_begin;
+  result.updates_after_storm = result.totals.msgs_sent - msgs_at_settle;
+  result.updates_per_sec_storm =
+      settle_at > t0 ? result.updates_during_storm / ((settle_at - t0) / 1e3)
+                     : 0.0;
+
+  const auto& cls_stats = result.invariants.fault_classes[storm_cls];
+  if (monitor.awaiting_clean_sweep()) {
+    result.reconverge_ms = -1.0;  // never reconverged before the horizon
+  } else if (cls_stats.reconverge_ms.count() > 0) {
+    result.reconverge_ms = cls_stats.reconverge_ms.max();
+  } else {
+    result.reconverge_ms = 0.0;  // no sweep ever saw the storm dirty
+  }
+
+  const SimTime end_now = engine.now();
+  for (const Ad& ad : topo.ads()) {
+    Node* node = net.node(ad.id);
+    if (!node) continue;
+    FlapDamper* damper = nullptr;
+    if (arch == "ecma") {
+      damper = &static_cast<EcmaNode*>(node)->damper();
+    } else if (arch == "idrp") {
+      damper = &static_cast<IdrpNode*>(node)->damper();
+    } else if (arch == "ls-hbh") {
+      result.ls_originations_suppressed +=
+          static_cast<LshhNode*>(node)->originations_suppressed();
+    } else if (arch == "orwg") {
+      result.ls_originations_suppressed +=
+          static_cast<OrwgNode*>(node)->originations_suppressed();
+    }
+    if (damper) {
+      const DampingStats& ds = damper->stats();
+      result.flaps_recorded += ds.flaps;
+      result.routes_suppressed += ds.suppress_events;
+      result.routes_reused += ds.reuse_events;
+      result.suppressed_ms_total += ds.suppressed_ms;
+      result.suppressed_at_end += damper->suppressed_count(end_now);
+    }
+  }
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "proto/common/counters.hpp"
+#include "proto/common/damping.hpp"
 #include "sim/invariants.hpp"
 #include "sim/network.hpp"
 
@@ -110,6 +111,16 @@ struct ChaosParams {
       .sample_pairs = 48,
       .sample_seed = 0x5eedf00dULL,
   };
+
+  // Per-failure-class reconvergence grace windows. A node cold-restart
+  // legitimately needs more slack than a single link transition; a
+  // negative value falls back to invariants.reconverge_window_ms, so the
+  // defaults leave every existing run byte-identical.
+  struct ReconvergeWindows {
+    SimTime link_ms = -1.0;
+    SimTime node_ms = -1.0;
+  };
+  ReconvergeWindows reconverge;
 };
 
 struct ChaosResult {
@@ -134,5 +145,120 @@ const std::vector<std::string>& chaos_design_points();
 // Run `arch` ("ecma" | "idrp" | "ls-hbh" | "orwg") through the seeded
 // churn schedule over the Figure 1 topology with open policies.
 ChaosResult run_chaos(const std::string& arch, const ChaosParams& params);
+
+// --- Paper-scale failure & recovery ----------------------------------
+//
+// Storm scenario families over the core/scale_profile deployment (pure
+// hierarchy, ~1e2 transit core, beacon-originated DV destinations).
+// Failure detection uses the instantaneous link-state oracle instead of
+// keepalives: storms are injected as link transitions (a node outage is
+// all of its links going dark), and per-link keepalive probing at 1e4+
+// ADs would drown the event queue in liveness traffic that bench_chaos
+// already soaks at small scale.
+
+enum class StormFamily : std::uint8_t {
+  kFlapStorm = 0,      // seeded per-link flap processes on transit links
+  kWithdrawStorm = 1,  // batches of beacon stubs going dark and returning
+  kPartition = 2,      // a regional subtree cut off the backbone, healed
+  kCoreOutage = 3,     // a transit-core (backbone) node failure + repair
+};
+
+[[nodiscard]] const char* to_string(StormFamily family);
+// All four families, in enum order (bench/soak iteration order).
+[[nodiscard]] const std::vector<StormFamily>& storm_families();
+
+struct ScaleChaosParams {
+  std::uint64_t seed = 0x5ca1eULL;  // profile seed (bench_scale's)
+  std::uint32_t target_ads = 10'000;
+  std::uint32_t beacon_count = 64;
+
+  StormFamily storm = StormFamily::kFlapStorm;
+  SimTime onset_delay_ms = 200.0;  // quiet gap between convergence and storm
+  SimTime tail_ms = 4'000.0;       // quiet tail after the last transition
+
+  // Flap storm: `flap_links` transit-transit links each run a seeded flap
+  // process (random phase) with this period/duty for `flap_cycles`.
+  // Suppression needs ~3 transitions per link to engage, so the cycle
+  // count sets how much of the storm the damped tail amortizes.
+  std::size_t flap_links = 8;
+  SimTime flap_period_ms = 200.0;
+  double flap_duty = 0.5;
+  std::uint32_t flap_cycles = 10;
+
+  // Withdrawal storm: `withdraw_beacons` beacon access links drop for
+  // `withdraw_down_ms`, in `withdraw_waves` waves `withdraw_gap_ms` apart.
+  std::size_t withdraw_beacons = 8;
+  SimTime withdraw_down_ms = 400.0;
+  std::uint32_t withdraw_waves = 2;
+  SimTime withdraw_gap_ms = 400.0;
+
+  // Partition / core outage: time the uplink(s) stay down before healing.
+  SimTime outage_ms = 600.0;
+
+  // Recovery knobs, all off by default (existing behavior unchanged).
+  DampingConfig damping;        // DV family (ECMA, IDRP)
+  SimTime ls_holddown_ms = 0.0; // LS family (LS-HbH, ORWG)
+
+  // Per-storm-class reconvergence grace windows (measured from the LAST
+  // transition of the storm; every transition extends the deadline).
+  struct StormWindows {
+    SimTime flap_ms = 2'000.0;
+    SimTime withdraw_ms = 2'000.0;
+    SimTime partition_ms = 3'000.0;
+    SimTime core_outage_ms = 3'000.0;
+  };
+  StormWindows windows;
+
+  InvariantConfig invariants{
+      .cadence_ms = 250.0,
+      .reconverge_window_ms = 1'500.0,
+      .sample_pairs = 64,
+      .sample_seed = 0x5eedf00dULL,
+      // dst_pool / src_pool are filled by the driver from the profile.
+  };
+};
+
+struct ScaleChaosResult {
+  std::string arch;
+  StormFamily storm = StormFamily::kFlapStorm;
+  std::uint32_t ads = 0;
+  std::uint32_t transit_ads = 0;
+
+  InvariantStats invariants;
+  // Deduplicated persistent violations with their probe walks -- what a
+  // failing gate prints for diagnosis.
+  std::vector<InvariantFinding> persistent_findings;
+  Counters totals;
+  std::uint64_t counter_fingerprint = 0;
+
+  SimTime converge_ms = 0.0;     // cold start -> drained queue
+  SimTime storm_begin_ms = 0.0;  // first scheduled transition
+  SimTime storm_end_ms = 0.0;    // last scheduled transition
+  SimTime horizon_ms = 0.0;
+  std::size_t storm_transitions = 0;  // link down events injected
+
+  // Control-plane churn: messages sent inside / after the storm window,
+  // and the normalized updates/sec over the storm (sim time).
+  std::uint64_t updates_during_storm = 0;
+  std::uint64_t updates_after_storm = 0;
+  double updates_per_sec_storm = 0.0;
+
+  // Storm-class reconvergence (from the last transition to the first
+  // all-clean sweep); < 0 = never reconverged (a gate failure).
+  SimTime reconverge_ms = -1.0;
+
+  // Recovery-mechanism accounting, aggregated over all nodes.
+  std::uint64_t flaps_recorded = 0;       // DV damper state changes
+  std::uint64_t routes_suppressed = 0;    // suppress-threshold crossings
+  std::uint64_t routes_reused = 0;        // reuse-threshold releases
+  SimTime suppressed_ms_total = 0.0;      // damped-route unreachability
+  std::size_t suppressed_at_end = 0;      // still damped at the horizon
+  std::uint64_t ls_originations_suppressed = 0;  // hold-down no-op windows
+};
+
+// Run one storm family over the scale profile for `arch`. Deterministic
+// in (arch, params): same seed, same storm schedule, same fingerprint.
+ScaleChaosResult run_scale_chaos(const std::string& arch,
+                                 const ScaleChaosParams& params);
 
 }  // namespace idr

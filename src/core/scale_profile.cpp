@@ -79,46 +79,60 @@ ScaleProfile make_scale_profile(std::uint32_t target_ads, std::uint64_t seed,
 Network::NodeFactory make_scale_factory(const std::string& arch,
                                         const ScaleProfile& profile,
                                         double periodic_refresh_ms) {
+  ScaleFactoryOptions options;
+  options.periodic_refresh_ms = periodic_refresh_ms;
+  return make_scale_factory(arch, profile, options);
+}
+
+Network::NodeFactory make_scale_factory(const std::string& arch,
+                                        const ScaleProfile& profile,
+                                        const ScaleFactoryOptions& options) {
   const ScaleProfile* p = &profile;
-  const double refresh = periodic_refresh_ms;
+  const double refresh = options.periodic_refresh_ms;
+  const DampingConfig damping = options.damping;
+  const double holddown = options.ls_holddown_ms;
   if (arch == "ecma") {
-    return [p, refresh](AdId ad) -> std::unique_ptr<Node> {
+    return [p, refresh, damping](AdId ad) -> std::unique_ptr<Node> {
       EcmaConfig config;
       config.qos_mask = 1;  // single traffic class at scale
       config.stub = is_stub_role(p->topo, ad);
       config.originate = p->is_beacon[ad.v] != 0;
       config.mrai_ms = 10.0;  // coalesce the per-beacon update waves
+      config.damping = damping;
       auto node = std::make_unique<EcmaNode>(&p->order.order, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "idrp") {
-    return [p, refresh](AdId ad) -> std::unique_ptr<Node> {
+    return [p, refresh, damping](AdId ad) -> std::unique_ptr<Node> {
       IdrpConfig config;
       config.routes_per_dest = 1;  // one route per beacon destination
       config.originate = p->is_beacon[ad.v] != 0;
       config.mrai_ms = 10.0;
       config.shared_updates = true;  // open terms: one encode per wave
+      config.damping = damping;
       auto node = std::make_unique<IdrpNode>(&p->policies, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "ls-hbh") {
-    return [p, refresh](AdId) -> std::unique_ptr<Node> {
+    return [p, refresh, holddown](AdId) -> std::unique_ptr<Node> {
       LshhConfig config;
       config.hierarchical = true;
+      config.link_holddown_ms = holddown;
       auto node = std::make_unique<LshhNode>(&p->policies, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "orwg") {
-    return [p, refresh](AdId) -> std::unique_ptr<Node> {
+    return [p, refresh, holddown](AdId) -> std::unique_ptr<Node> {
       OrwgConfig config;
       config.hierarchical = true;
       config.periodic_refresh_ms = refresh;
+      config.link_holddown_ms = holddown;
       return std::make_unique<OrwgNode>(&p->policies, config);
     };
   }

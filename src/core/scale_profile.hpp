@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "policy/database.hpp"
+#include "proto/common/damping.hpp"
 #include "proto/ecma/partial_order.hpp"
 #include "sim/network.hpp"
 #include "topology/generator.hpp"
@@ -54,5 +55,17 @@ struct ScaleProfile {
 [[nodiscard]] Network::NodeFactory make_scale_factory(
     const std::string& arch, const ScaleProfile& profile,
     double periodic_refresh_ms = 0.0);
+
+// Recovery knobs for the chaos-at-scale runs. Defaults reproduce the
+// plain factory exactly, so bench_scale baselines are unaffected.
+struct ScaleFactoryOptions {
+  double periodic_refresh_ms = 0.0;
+  DampingConfig damping;          // DV family (ECMA, IDRP)
+  double ls_holddown_ms = 0.0;    // LS family (LS-HbH, ORWG)
+};
+
+[[nodiscard]] Network::NodeFactory make_scale_factory(
+    const std::string& arch, const ScaleProfile& profile,
+    const ScaleFactoryOptions& options);
 
 }  // namespace idr

@@ -50,6 +50,7 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
   //   * tamper      -- all metrics are zeroed, pulling traffic in;
   //   * false origin -- metric-0 reachability for the victim is appended.
   const Misbehavior mis = net().active_misbehavior(self());
+  const SimTime now = net().engine().now();
   wire::Writer w;
   w.u8(kMsgUpdate);
   wire::Writer body;
@@ -58,8 +59,15 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
     const AdId dst{static_cast<std::uint32_t>(k >> 8)};
     const auto qos = static_cast<std::uint8_t>(k & 0xff);
     if (mis != Misbehavior::kRouteLeak && !advertisable(dst)) continue;
+    // A damped key is advertised at infinity (a stable withdrawal): the
+    // flap's churn dies here while local forwarding keeps the route.
+    // Pure query only: a targeted encode (help, link-up refresh) must not
+    // consume a pending release, or the release timer would find nothing
+    // due and the network-wide re-advertisement would never happen.
+    const bool damped = damper_.enabled() && dst != self() &&
+                        damper_.would_suppress(k, now);
     for (const Route* r : {&entry.best, &entry.best_down}) {
-      const bool valid = r->valid(config_.infinity);
+      const bool valid = r->valid(config_.infinity) && !damped;
       std::uint8_t down_only = r->down_only ? 1 : 0;
       std::uint16_t metric = valid ? r->metric : config_.infinity;
       if (mis == Misbehavior::kRouteLeak) down_only = 1;
@@ -238,7 +246,7 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   }
 
   bool changed = false;
-  auto apply = [&](Route& slot, const Route& candidate) {
+  auto apply = [&](Route& slot, const Route& candidate) -> bool {
     const bool qualifies = candidate.metric < config_.infinity;
     if (slot.valid(config_.infinity) && slot.via == from) {
       // Authoritative update from the current next hop.
@@ -247,17 +255,35 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
       if (revised.metric != slot.metric ||
           revised.down_only != slot.down_only || revised.via != slot.via) {
         slot = revised;
-        changed = true;
+        return true;
       }
     } else if (qualifies && candidate.metric < slot.metric) {
       slot = candidate;
-      changed = true;
+      return true;
     }
+    return false;
   };
   for (const auto [k, cand] : per_key) {
     Entry& entry = rib_[k];
-    apply(entry.best, cand.any);
-    apply(entry.best_down, cand.down);
+    const bool had_route = entry.best.valid(config_.infinity) ||
+                           entry.best_down.valid(config_.infinity);
+    bool key_changed = apply(entry.best, cand.any);
+    key_changed |= apply(entry.best_down, cand.down);
+    if (key_changed) {
+      // First learning a destination is not a flap (RFC 2439 shape):
+      // only changes to previously-valid state accrue penalty, so cold
+      // start converges penalty-free.
+      const bool newly_suppressed = had_route && note_route_flap(k);
+      // A change confined to an already-suppressed key does not alter
+      // what we advertise (the key encodes at infinity either way), so
+      // it must not trigger an update wave -- this is where damping cuts
+      // the flap cascade. The crossing INTO suppression still broadcasts
+      // once: that update is the withdrawal neighbors key off.
+      if (newly_suppressed || !damper_.enabled() ||
+          !damper_.would_suppress(k, net().engine().now())) {
+        changed = true;
+      }
+    }
   }
 
   if (changed) trigger_broadcast();
@@ -281,6 +307,12 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     // up link (we are above them, i.e. from is below), else down-only.
     const Route& offered = from_is_below ? e->best : e->best_down;
     if (!offered.valid(config_.infinity) || offered.via == from) continue;
+    // A suppressed key encodes at infinity, so "helping" with it would
+    // send nothing usable -- the offer must reflect the encoded view.
+    if (damper_.enabled() &&
+        damper_.would_suppress(k, net().engine().now())) {
+      continue;
+    }
     if (offered.metric + 1u < cand.their_best) {
       help = true;
       break;
@@ -291,21 +323,61 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
 
 void EcmaNode::on_link_change(AdId neighbor, bool up) {
   if (up) {
-    broadcast();
+    if (damper_.enabled()) {
+      // A link-up does not change our RIB, so a network-wide broadcast
+      // would be byte-identical to what every other neighbor already
+      // holds; only the recovered neighbor needs the table refresh.
+      net().send(self(), neighbor, encode_for(neighbor));
+    } else {
+      broadcast();
+    }
     return;
   }
   bool changed = false;
   for (auto [k, entry] : rib_) {
-    (void)k;
+    bool key_changed = false;
     for (Route* slot : {&entry.best, &entry.best_down}) {
       if (slot->valid(config_.infinity) && slot->via == neighbor &&
           slot->via != self()) {
         slot->metric = config_.infinity;
+        key_changed = true;
+      }
+    }
+    if (key_changed) {
+      // Poisoned routes were valid by definition, so this is a flap; a
+      // crossing into suppression must still be broadcast (see above).
+      const bool newly_suppressed = note_route_flap(k);
+      if (newly_suppressed || !damper_.enabled() ||
+          !damper_.would_suppress(k, net().engine().now())) {
         changed = true;
       }
     }
   }
   if (changed) broadcast();
+}
+
+bool EcmaNode::note_route_flap(std::uint64_t k) {
+  if (!damper_.enabled()) return false;
+  const bool newly_suppressed = damper_.note_flap(k, net().engine().now());
+  maybe_schedule_release_check();
+  return newly_suppressed;
+}
+
+void EcmaNode::maybe_schedule_release_check() {
+  if (release_check_scheduled_) return;
+  const SimTime now = net().engine().now();
+  const SimTime eta = damper_.next_release_eta(now);
+  if (eta < 0.0) return;
+  // A hair past the analytic release time, so the encode that this timer
+  // triggers observes the key already below the reuse threshold.
+  release_check_scheduled_ = true;
+  schedule_guarded(std::max(eta - now, 0.0) + 0.1, [this] {
+    release_check_scheduled_ = false;
+    // Release directly: encode only queries keys still in the table, so
+    // the timer must not depend on it to clear due suppressions.
+    if (damper_.release_due(net().engine().now()) > 0) trigger_broadcast();
+    maybe_schedule_release_check();
+  });
 }
 
 std::optional<EcmaNode::Forwarding> EcmaNode::forward(AdId dst, Qos qos,

@@ -24,6 +24,7 @@
 
 #include "policy/flow.hpp"
 #include "policy/term.hpp"
+#include "proto/common/damping.hpp"
 #include "proto/common/node.hpp"
 #include "proto/ecma/partial_order.hpp"
 #include "util/dense_map.hpp"
@@ -56,6 +57,11 @@ struct EcmaConfig {
   // the historical behavior). At paper scale every beacon arrival would
   // otherwise trigger a separate full-table broadcast.
   double mrai_ms = 0.0;
+  // Route-flap damping (off by default): per-(dst, qos) penalty on every
+  // selected-route change; suppressed keys are advertised at infinity
+  // (local forwarding keeps the route) until the penalty decays to the
+  // reuse threshold, at which point a release timer re-advertises them.
+  DampingConfig damping;
 };
 
 class EcmaNode : public ProtoNode {
@@ -89,6 +95,7 @@ class EcmaNode : public ProtoNode {
   [[nodiscard]] std::uint16_t distance(AdId dst, Qos qos) const;
   [[nodiscard]] std::size_t fib_entries() const noexcept;
   [[nodiscard]] const PartialOrder& order() const noexcept { return *order_; }
+  [[nodiscard]] FlapDamper& damper() noexcept { return damper_; }
 
   static constexpr std::uint8_t kMsgUpdate = 1;
 
@@ -114,7 +121,13 @@ class EcmaNode : public ProtoNode {
   void broadcast();
   void trigger_broadcast();
   void schedule_refresh();
+  // Returns true when this flap newly suppressed the key (see
+  // FlapDamper::note_flap): the crossing must still be broadcast.
+  bool note_route_flap(std::uint64_t k);
+  void maybe_schedule_release_check();
   [[nodiscard]] bool advertisable(AdId dst) const;
+  // Damping is consulted via the pure would_suppress only: all releases
+  // are performed by the release timer, which always re-broadcasts.
   [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
 
   // Static per-sender distance lower bounds for the receiver-side
@@ -137,8 +150,10 @@ class EcmaNode : public ProtoNode {
 
   const PartialOrder* order_;
   EcmaConfig config_;
+  FlapDamper damper_{config_.damping};
   double periodic_refresh_ms_ = 0.0;
   bool broadcast_scheduled_ = false;  // an MRAI window is already open
+  bool release_check_scheduled_ = false;  // a damping release timer is set
   // Struct-of-arrays FIB keyed by (dst, qos); contiguous iteration is the
   // encode hot path and insertion-order walks keep runs deterministic.
   DenseMap<std::uint64_t, Entry> rib_;

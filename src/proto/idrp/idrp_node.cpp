@@ -116,7 +116,7 @@ void IdrpNode::schedule_refresh() {
   });
 }
 
-std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
+std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) {
   // A Byzantine/misconfigured AD lies at this advertisement point:
   //   * route leak -- learned routes are re-advertised with wide-open
   //     attributes, skipping the Policy Term intersection entirely;
@@ -125,6 +125,7 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
   //   * false origin -- a path=[self] origin claim for the victim is
   //     appended after the honest routes.
   const Misbehavior mis = net().active_misbehavior(self());
+  const SimTime now = net().engine().now();
   wire::Writer w;
   w.u8(kMsgUpdate);
   wire::Writer body;
@@ -132,6 +133,16 @@ std::vector<std::uint8_t> IdrpNode::encode_for(AdId neighbor) const {
   const auto own_terms = policies_->terms(self());
   for (const auto [dst_v, routes] : loc_rib_) {
     const AdId dst{dst_v};
+    // A damped destination is simply left out: per-neighbor full-table
+    // updates make omission an implicit withdrawal, so downstream churn
+    // stops after one stable update while we keep forwarding locally.
+    // Pure query only -- releases happen solely in the release timer,
+    // whose re-advertisement reaches every neighbor (a mid-encode release
+    // would revive the dst for some neighbors and not others).
+    if (damper_.enabled() && dst != self() &&
+        damper_.would_suppress(dst_v, now)) {
+      continue;
+    }
     std::uint32_t emitted_for_dst = 0;
     for (const IdrpRoute& route : routes) {
       if (emitted_for_dst >= config_.routes_per_dest) break;
@@ -420,6 +431,7 @@ void IdrpNode::reselect_and_maybe_advertise() {
   }
 
   loc_rib_ = std::move(fresh);
+  if (damper_.enabled()) note_dst_flaps();
   const std::uint64_t sig = rib_signature();
   if (sig != last_advertised_signature_) {
     last_advertised_signature_ = sig;
@@ -427,24 +439,83 @@ void IdrpNode::reselect_and_maybe_advertise() {
   }
 }
 
+namespace {
+
+std::uint64_t dst_routes_signature(std::uint32_t dst,
+                                   const std::vector<IdrpRoute>& routes) {
+  std::uint64_t s = dst;
+  for (const IdrpRoute& route : routes) {
+    for (AdId ad : route.path) s = splitmix64(s) ^ ad.v;
+    s = splitmix64(s) ^ route.attrs.cost;
+    s = splitmix64(s) ^ route.attrs.qos_mask;
+    s = splitmix64(s) ^ route.attrs.uci_mask;
+    s = splitmix64(s) ^ route.attrs.hour_mask;
+    s = splitmix64(s) ^
+        (route.attrs.sources.is_any() ? 0xffffu
+                                      : route.attrs.sources.members().size());
+    for (AdId m : route.attrs.sources.members()) s = splitmix64(s) ^ m.v;
+  }
+  return s;
+}
+
+}  // namespace
+
 std::uint64_t IdrpNode::rib_signature() const {
+  const SimTime now = net().engine().now();
   std::uint64_t acc = 0x9e3779b97f4a7c15ULL;
   for (const auto [dst, routes] : loc_rib_) {
-    std::uint64_t s = dst;
-    for (const IdrpRoute& route : routes) {
-      for (AdId ad : route.path) s = splitmix64(s) ^ ad.v;
-      s = splitmix64(s) ^ route.attrs.cost;
-      s = splitmix64(s) ^ route.attrs.qos_mask;
-      s = splitmix64(s) ^ route.attrs.uci_mask;
-      s = splitmix64(s) ^ route.attrs.hour_mask;
-      s = splitmix64(s) ^
-          (route.attrs.sources.is_any() ? 0xffffu
-                                        : route.attrs.sources.members().size());
-      for (AdId m : route.attrs.sources.members()) s = splitmix64(s) ^ m.v;
-    }
-    acc ^= splitmix64(s);  // order-independent combine across destinations
+    // Suppressed destinations are omitted from updates, so a change
+    // confined to one must not look like an advertisable change -- that
+    // is where damping cuts the flap cascade. (Pure query: signatures
+    // must not mutate damper state.)
+    if (damper_.enabled() && damper_.would_suppress(dst, now)) continue;
+    // order-independent combine across destinations
+    std::uint64_t s = dst_routes_signature(dst, routes);
+    acc ^= splitmix64(s);
   }
   return acc;
+}
+
+void IdrpNode::note_dst_flaps() {
+  // One flap per destination whose selected route set changed in this
+  // reselection (appearance, disappearance, or any path/attr change).
+  const SimTime now = net().engine().now();
+  DenseMap<std::uint32_t, std::uint64_t> fresh_sigs;
+  for (const auto [dst, routes] : loc_rib_) {
+    fresh_sigs[dst] = dst_routes_signature(dst, routes);
+  }
+  for (const auto [dst, sig] : fresh_sigs) {
+    if (AdId{dst} == self()) continue;
+    const std::uint64_t* old = dst_sig_.find(dst);
+    // A destination appearing for the first time is initial learning,
+    // not a flap (RFC 2439 shape) -- cold start accrues no penalty.
+    if (old && *old != sig) damper_.note_flap(dst, now);
+  }
+  for (const auto [dst, sig] : dst_sig_) {
+    (void)sig;
+    if (AdId{dst} == self()) continue;
+    if (!fresh_sigs.find(dst)) damper_.note_flap(dst, now);
+  }
+  dst_sig_ = std::move(fresh_sigs);
+  maybe_schedule_release_check();
+}
+
+void IdrpNode::maybe_schedule_release_check() {
+  if (release_check_scheduled_) return;
+  const SimTime now = net().engine().now();
+  const SimTime eta = damper_.next_release_eta(now);
+  if (eta < 0.0) return;
+  // A hair past the analytic release time, so the update this timer
+  // triggers observes the destination already below the reuse threshold.
+  release_check_scheduled_ = true;
+  schedule_guarded(std::max(eta - now, 0.0) + 0.1, [this] {
+    release_check_scheduled_ = false;
+    // Release directly: encode only queries destinations still in the
+    // loc-RIB, so the timer must not depend on it to clear due
+    // suppressions.
+    if (damper_.release_due(net().engine().now()) > 0) trigger_advertise();
+    maybe_schedule_release_check();
+  });
 }
 
 std::optional<AdId> IdrpNode::forward(const FlowSpec& flow, AdId prev) const {

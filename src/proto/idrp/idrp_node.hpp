@@ -23,6 +23,7 @@
 #include "policy/database.hpp"
 #include "policy/flow.hpp"
 #include "policy/term.hpp"
+#include "proto/common/damping.hpp"
 #include "proto/common/node.hpp"
 #include "util/dense_map.hpp"
 
@@ -87,6 +88,11 @@ struct IdrpConfig {
   // once and share the payload (paper scale: a regional AD has ~1e3 stub
   // neighbors). Off by default to keep per-neighbor encode exact.
   bool shared_updates = false;
+  // Route-flap damping (off by default): per-destination penalty on
+  // every selected-route-set change; suppressed destinations are omitted
+  // from updates (implicit withdrawal) while local forwarding keeps
+  // them, until the penalty decays to the reuse threshold.
+  DampingConfig damping;
 };
 
 class IdrpNode : public ProtoNode {
@@ -125,6 +131,7 @@ class IdrpNode : public ProtoNode {
   [[nodiscard]] std::size_t loc_rib_routes() const noexcept;
   [[nodiscard]] std::size_t adj_rib_routes() const noexcept;
   [[nodiscard]] std::size_t routes_for(AdId dst) const;
+  [[nodiscard]] FlapDamper& damper() noexcept { return damper_; }
 
   static constexpr std::uint8_t kMsgUpdate = 1;
 
@@ -138,16 +145,21 @@ class IdrpNode : public ProtoNode {
   void advertise();
   void trigger_advertise();
   void schedule_refresh();
+  void note_dst_flaps();
+  void maybe_schedule_release_check();
   // Defense filter for one received route (config_.defend only): checks
   // neighbor consistency and clamps to the sender's registered terms,
   // appending the surviving copies to `kept`.
   void defend_and_keep(AdId from, IdrpRoute route,
                        std::vector<IdrpRoute>& kept);
-  [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor) const;
+  // Non-const: evaluating damping suppression at encode time performs
+  // reuse-threshold releases as a side effect.
+  [[nodiscard]] std::vector<std::uint8_t> encode_for(AdId neighbor);
   [[nodiscard]] std::uint64_t rib_signature() const;
 
   const PolicySet* policies_;
   IdrpConfig config_;
+  FlapDamper damper_{config_.damping};
   double periodic_refresh_ms_ = 0.0;
   // adj-RIB-in: routes as received, per neighbor (dense, insertion
   // ordered: iteration order is a function of the event sequence only).
@@ -156,6 +168,10 @@ class IdrpNode : public ProtoNode {
   DenseMap<std::uint32_t, std::vector<IdrpRoute>> loc_rib_;
   std::uint64_t last_advertised_signature_ = 0;
   bool advertise_scheduled_ = false;  // an MRAI window is already open
+  bool release_check_scheduled_ = false;  // a damping release timer is set
+  // Per-destination signature of the selected route set, maintained only
+  // while damping is enabled (change = one flap for that destination).
+  DenseMap<std::uint32_t, std::uint64_t> dst_sig_;
   // Per-neighbor hash of the last update actually sent; identical
   // re-advertisements are suppressed (real path-vector implementations
   // do the same, and it keeps triggered-update churn honest).

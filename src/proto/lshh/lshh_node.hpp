@@ -45,6 +45,14 @@ struct LshhConfig {
   // over the transit-only database. The database and every FIB stay
   // O(transit ADs) instead of O(all ADs).
   bool hierarchical = false;
+  // Hold-down for link-change-triggered re-origination (0 = immediate,
+  // the historical behavior). Link transitions within the window
+  // coalesce into at most one origination, and a window that ends with
+  // LSA content identical to the database copy (the link flapped down
+  // and back) re-floods nothing at all -- the re-flood scoping that
+  // keeps a flapping access link from re-flooding the transit core per
+  // transition. Periodic refresh bypasses this (it must bump seq).
+  double link_holddown_ms = 0.0;
 };
 
 class LshhNode : public ProtoNode {
@@ -84,6 +92,9 @@ class LshhNode : public ProtoNode {
   [[nodiscard]] std::uint64_t lsas_rejected_auth() const noexcept {
     return lsas_rejected_auth_;
   }
+  [[nodiscard]] std::uint64_t originations_suppressed() const noexcept {
+    return originations_suppressed_;
+  }
 
   static constexpr std::uint8_t kMsgLsa = 1;
 
@@ -94,6 +105,7 @@ class LshhNode : public ProtoNode {
   };
 
   void originate_lsa();
+  void originate_if_changed();
   void forge_victim_lsa();
   void sign_lsa(PolicyLsa& lsa) const;
   void flood_lsa(const PolicyLsa& lsa, AdId except);
@@ -118,6 +130,8 @@ class LshhNode : public ProtoNode {
   PolicyLsdb lsdb_;
   double periodic_refresh_ms_ = 0.0;
   std::uint32_t my_seq_ = 0;
+  bool holddown_scheduled_ = false;  // a hold-down window is already open
+  std::uint64_t originations_suppressed_ = 0;
   DenseMap<std::uint64_t, CacheEntry> cache_;
   // Lazily rebuilt stub -> owning transit AD index (hierarchical mode).
   DenseMap<std::uint32_t, std::uint32_t> attach_;

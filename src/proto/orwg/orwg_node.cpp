@@ -97,6 +97,40 @@ void OrwgNode::originate_lsa() {
   if (mis == Misbehavior::kFalseOrigin) forge_victim_lsa();
 }
 
+void OrwgNode::originate_if_changed() {
+  // Hold-down re-flood scoping: a window that ends with the same link
+  // view the database already describes (the link flapped down and back)
+  // originates nothing -- no seq bump, no network-wide re-flood.
+  if (config_.hierarchical && !is_transit()) return;
+  if (const PolicyLsa* current = lsdb_.get(self())) {
+    std::vector<PolicyLsaAdjacency> adjs;
+    std::vector<AdId> stubs;
+    for (const Adjacency& adj : live_neighbors()) {
+      if (config_.hierarchical && !topo().can_transit(adj.neighbor)) {
+        stubs.push_back(adj.neighbor);
+        continue;
+      }
+      adjs.push_back(
+          PolicyLsaAdjacency{adj.neighbor, topo().link(adj.link).metric});
+    }
+    const bool same =
+        adjs.size() == current->adjacencies.size() &&
+        stubs.size() == current->attached_stubs.size() &&
+        std::equal(adjs.begin(), adjs.end(), current->adjacencies.begin(),
+                   [](const PolicyLsaAdjacency& a,
+                      const PolicyLsaAdjacency& b) {
+                     return a.neighbor == b.neighbor && a.metric == b.metric;
+                   }) &&
+        std::equal(stubs.begin(), stubs.end(),
+                   current->attached_stubs.begin());
+    if (same) {
+      ++originations_suppressed_;
+      return;
+    }
+  }
+  originate_lsa();
+}
+
 void OrwgNode::forge_victim_lsa() {
   // LS origin forgery (hijack): flood an LSA claiming to BE the victim,
   // sequence-leapfrogged past the victim's fight-back, with no
@@ -199,7 +233,17 @@ void OrwgNode::flush_pending_floods() {
 }
 
 void OrwgNode::on_link_change(AdId neighbor, bool up) {
-  originate_lsa();
+  if (config_.link_holddown_ms > 0.0) {
+    if (!holddown_scheduled_) {
+      holddown_scheduled_ = true;
+      schedule_guarded(config_.link_holddown_ms, [this] {
+        holddown_scheduled_ = false;
+        originate_if_changed();
+      });
+    }
+  } else {
+    originate_lsa();
+  }
   if (config_.hierarchical && !topo().can_transit(neighbor)) return;
   if (up && neighbor.valid()) {
     // DB sync for a neighbor that just (re)appeared, so a cold-restarted

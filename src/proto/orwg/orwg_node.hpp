@@ -58,6 +58,13 @@ struct OrwgConfig {
   // parent -- the paper's model of the Route Server as the provider-side
   // entity a stub consults. Databases stay O(transit ADs).
   bool hierarchical = false;
+  // Hold-down for link-change-triggered re-origination (0 = immediate,
+  // the historical behavior). Link transitions within the window
+  // coalesce into at most one origination, and a window that ends with
+  // LSA content identical to the database copy (the link flapped down
+  // and back) re-floods nothing at all. Periodic refresh bypasses this
+  // (it must bump seq).
+  double link_holddown_ms = 0.0;
 };
 
 class OrwgNode : public ProtoNode {
@@ -150,6 +157,7 @@ class OrwgNode : public ProtoNode {
   };
 
   void originate_lsa();
+  void originate_if_changed();
   // Hierarchical helpers: owning transit AD of a (possibly stub) AD, the
   // stub's deterministic parent, and the end-to-end AD path composed from
   // a transit-level synthesis between the two attachments.
@@ -190,6 +198,8 @@ class OrwgNode : public ProtoNode {
   std::uint32_t my_seq_ = 0;
   std::vector<std::pair<PolicyLsa, AdId>> pending_floods_;
   bool flush_scheduled_ = false;
+  bool holddown_scheduled_ = false;  // a hold-down window is already open
+  std::uint64_t originations_suppressed_ = 0;
   std::unique_ptr<RouteServer> route_server_;
   std::unique_ptr<PolicyGateway> gateway_;
   std::unordered_map<std::uint64_t, ActivePr> active_;    // by flow key
@@ -218,6 +228,9 @@ class OrwgNode : public ProtoNode {
   }
   [[nodiscard]] std::uint64_t lsas_rejected_auth() const noexcept {
     return lsas_rejected_auth_;
+  }
+  [[nodiscard]] std::uint64_t originations_suppressed() const noexcept {
+    return originations_suppressed_;
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "sim/failure.hpp"
 
+#include <algorithm>
+
 namespace idr {
 
 void FailureInjector::fail_link_at(LinkId link, SimTime at_ms,
@@ -22,6 +24,25 @@ void FailureInjector::crash_node_at(AdId ad, SimTime at_ms,
   });
   if (duration_ms > 0.0) {
     net_.engine().at(at_ms + duration_ms, [this, ad] { net_.restart(ad); });
+  }
+}
+
+void FailureInjector::flap_link(LinkId link, SimTime onset_ms,
+                                SimTime period_ms, double duty,
+                                std::uint32_t cycles) {
+  if (cycles == 0 || period_ms <= 0.0) return;
+  const SimTime down_ms =
+      period_ms * std::clamp(duty, 0.01, 0.99);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    const SimTime down_at = onset_ms + c * period_ms;
+    fail_link_at(link, down_at, down_ms);
+  }
+}
+
+void FailureInjector::fail_node_links_at(AdId ad, SimTime at_ms,
+                                         SimTime duration_ms) {
+  for (const Adjacency& adj : net_.topo().neighbors(ad)) {
+    fail_link_at(adj.link, at_ms, duration_ms);
   }
 }
 

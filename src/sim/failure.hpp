@@ -26,6 +26,19 @@ class FailureInjector {
   // restart requires the network to have a node factory).
   void crash_node_at(AdId ad, SimTime at_ms, SimTime duration_ms = 0.0);
 
+  // Scripted flap process: starting at `onset_ms` the link alternates
+  // down for duty * period_ms then up for the remainder, for `cycles`
+  // full cycles, ending up. Each down transition counts as one injected
+  // failure. The storm drivers seed one of these per chosen link.
+  void flap_link(LinkId link, SimTime onset_ms, SimTime period_ms,
+                 double duty, std::uint32_t cycles);
+
+  // Scripted: fail every link of `ad` at `at_ms` and restore them
+  // `duration_ms` later -- a node outage modeled as its interfaces going
+  // dark, which (unlike crash()) neighbors can observe through the
+  // link-state oracle. Counts one failure per link taken down.
+  void fail_node_links_at(AdId ad, SimTime at_ms, SimTime duration_ms);
+
   // Random background failures: each live link independently fails with
   // exponential inter-arrival `mean_uptime_ms` and repairs after
   // exponential `mean_downtime_ms`. New failures stop at `horizon_ms`;

@@ -28,7 +28,14 @@ InvariantMonitor::InvariantMonitor(Network& net, InvariantConfig config,
     : net_(net),
       config_(config),
       probe_(std::move(probe)),
-      sample_prng_(config.sample_seed) {}
+      sample_prng_(config.sample_seed) {
+  stats_.fault_classes.push_back(FaultClassStats{.name = "fault"});
+}
+
+std::size_t InvariantMonitor::register_fault_class(std::string name) {
+  stats_.fault_classes.push_back(FaultClassStats{.name = std::move(name)});
+  return stats_.fault_classes.size() - 1;
+}
 
 void InvariantMonitor::start(SimTime until_ms) {
   until_ms_ = until_ms;
@@ -50,7 +57,21 @@ void InvariantMonitor::schedule_next() {
 }
 
 void InvariantMonitor::note_fault() {
-  last_fault_at_ = net_.engine().now();
+  note_fault(0, -1.0);
+}
+
+void InvariantMonitor::note_fault(std::size_t fault_class, SimTime window_ms) {
+  if (fault_class >= stats_.fault_classes.size()) fault_class = 0;
+  const SimTime window =
+      window_ms < 0.0 ? config_.reconverge_window_ms : window_ms;
+  const SimTime now = net_.engine().now();
+  last_fault_at_ = now;
+  // Deadline form: with a constant window this is exactly the historical
+  // "now - last_fault > window" rule; per-class windows just take the max
+  // deadline over overlapping faults.
+  settle_deadline_ = std::max(settle_deadline_, now + window);
+  current_class_ = fault_class;
+  ++stats_.fault_classes[fault_class].faults;
   awaiting_clean_sweep_ = true;
 }
 
@@ -94,10 +115,10 @@ void InvariantMonitor::sweep() {
   const std::size_t n = topo.ad_count();
   ++stats_.sweeps;
   const SimTime now = net_.engine().now();
-  const bool settled = last_fault_at_ < 0.0 ||
-                       now - last_fault_at_ > config_.reconverge_window_ms;
+  const bool settled = last_fault_at_ < 0.0 || now > settle_deadline_;
 
   std::uint64_t violations = 0;
+  std::uint64_t probes_this_sweep = 0;
   // Each persistent (src, dst, kind) counts once for the run: re-observing
   // the same broken pair on every sweep would make soak logs unbounded.
   auto record = [&](InvariantKind kind, AdId src, AdId dst,
@@ -133,6 +154,7 @@ void InvariantMonitor::sweep() {
     // invariants are only claimed between honest ADs.
     if (net_.misbehaving(src) || net_.misbehaving(dst)) return;
     ++stats_.probes;
+    ++probes_this_sweep;
     const Probe probe = probe_(src, dst);
     const bool reachable =
         reachable_ ? reachable_(src, dst) : default_reachable(src, dst);
@@ -180,6 +202,16 @@ void InvariantMonitor::sweep() {
         if (s != d) classify(AdId{s}, AdId{d});
       }
     }
+  } else if (!config_.dst_pool.empty() && !config_.src_pool.empty()) {
+    // Stratified scale sampling: sources from the caller's slice of the
+    // stub population, destinations from the beacon set.
+    for (std::size_t i = 0; i < config_.sample_pairs; ++i) {
+      const AdId s =
+          config_.src_pool[sample_prng_.below(config_.src_pool.size())];
+      const AdId d =
+          config_.dst_pool[sample_prng_.below(config_.dst_pool.size())];
+      if (d != s) classify(s, d);
+    }
   } else if (!config_.dst_pool.empty()) {
     for (std::size_t i = 0; i < config_.sample_pairs; ++i) {
       const auto s = static_cast<std::uint32_t>(sample_prng_.below(n));
@@ -196,8 +228,17 @@ void InvariantMonitor::sweep() {
     }
   }
 
+  if (awaiting_clean_sweep_ && probes_this_sweep > 0 && violations > 0) {
+    // Blast radius, attributed to the class of the most recent fault.
+    const double frac = static_cast<double>(violations) /
+                        static_cast<double>(probes_this_sweep);
+    FaultClassStats& cls = stats_.fault_classes[current_class_];
+    if (frac > cls.peak_blast) cls.peak_blast = frac;
+  }
   if (violations == 0 && awaiting_clean_sweep_) {
     stats_.reconverge_ms.add(now - last_fault_at_);
+    stats_.fault_classes[current_class_].reconverge_ms.add(now -
+                                                           last_fault_at_);
     awaiting_clean_sweep_ = false;
   }
 }

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -83,11 +84,27 @@ struct InvariantConfig {
   // destinations, so probing arbitrary dsts would report vacuous
   // black holes).
   std::vector<AdId> dst_pool;
+  // When non-empty (and dst_pool is too), sampled sources are drawn from
+  // this pool instead of uniformly over all ADs -- the scale runs pass a
+  // stratified slice of the stub population so every region of the
+  // hierarchy is probed at every sweep.
+  std::vector<AdId> src_pool;
   // Also keep InvariantFinding records for transient violations (capped
   // at max_transient_findings). Persistent findings are always recorded
   // (they are deduped, so bounded by pairs x kinds).
   bool record_transient_findings = false;
   std::size_t max_transient_findings = 256;
+};
+
+// Per-failure-class accounting: each registered class gets its own
+// reconvergence summary and blast radius (peak fraction of one sweep's
+// probes found violating while that class's fault was the most recent).
+// Class 0 is the implicit default used by the plain note_fault().
+struct FaultClassStats {
+  std::string name;
+  std::uint64_t faults = 0;
+  Summary reconverge_ms;   // fault of this class -> first all-clean sweep
+  double peak_blast = 0.0; // max per-sweep violating probe fraction
 };
 
 struct InvariantStats {
@@ -103,6 +120,9 @@ struct InvariantStats {
   std::uint64_t persistent_black_holes = 0;
   std::uint64_t persistent_stale_routes = 0;
   Summary reconverge_ms;  // fault burst -> first all-clean sweep
+  // Indexed by the class id returned by register_fault_class(); entry 0
+  // is the default class.
+  std::vector<FaultClassStats> fault_classes;
 
   [[nodiscard]] std::uint64_t persistent_violations() const noexcept {
     return persistent_loops + persistent_black_holes +
@@ -130,14 +150,32 @@ class InvariantMonitor {
 
   // The fault injector (or chaos driver) reports each injected fault so
   // the monitor can distinguish transient from persistent violations and
-  // time reconvergence.
+  // time reconvergence. The plain form charges the default class (0)
+  // with the configured reconverge_window_ms.
   void note_fault();
+
+  // Per-failure-class form: a named class (from register_fault_class)
+  // with its own grace window -- a 1e4-AD partition heal legitimately
+  // needs a longer window than a single link flap. window_ms < 0 falls
+  // back to config_.reconverge_window_ms. Settling is deadline-based:
+  // overlapping faults extend the deadline to the max over all of them.
+  void note_fault(std::size_t fault_class, SimTime window_ms);
+
+  // Register a failure class for per-class reconvergence / blast-radius
+  // stats; returns its id (class 0, "fault", always exists).
+  std::size_t register_fault_class(std::string name);
 
   // Run one sweep immediately (also used by the periodic schedule).
   void sweep();
 
   [[nodiscard]] const InvariantStats& stats() const noexcept {
     return stats_;
+  }
+
+  // True while a fault burst has not yet been followed by an all-clean
+  // sweep -- the drivers' "never reconverged" signal at the horizon.
+  [[nodiscard]] bool awaiting_clean_sweep() const noexcept {
+    return awaiting_clean_sweep_;
   }
 
   // Structured violation records (persistent ones always; transient ones
@@ -164,6 +202,8 @@ class InvariantMonitor {
   InvariantStats stats_;
   SimTime until_ms_ = 0.0;
   SimTime last_fault_at_ = -1.0;  // <0: no fault yet
+  SimTime settle_deadline_ = -1.0;  // max over faults of (at + window)
+  std::size_t current_class_ = 0;   // class of the most recent fault
   bool awaiting_clean_sweep_ = false;
   // (src, dst, kind) triples already counted as persistent.
   std::unordered_set<std::uint64_t> persistent_seen_;

@@ -176,7 +176,7 @@ void Network::quarantine(AdId ad) {
   IDR_CHECK(ad.v < quarantined_.size());
   if (quarantined_[ad.v]) return;
   quarantined_[ad.v] = 1;
-  if (churn_observer_) churn_observer_();
+  if (churn_observer_) churn_observer_(ChurnKind::kNode);
   // Tell alive neighbors immediately -- the modeled conformance monitor
   // plays the role of an operator yanking the session.
   for (const Adjacency& adj : topo_.neighbors(ad)) {
@@ -231,7 +231,7 @@ void Network::crash(AdId ad) {
   nodes_[ad.v].reset();       // all soft state gone
   ++generations_[ad.v];       // orphan its pending timers
   ++crashes_;
-  if (churn_observer_) churn_observer_();
+  if (churn_observer_) churn_observer_(ChurnKind::kNode);
 }
 
 void Network::restart(AdId ad) {
@@ -248,7 +248,7 @@ void Network::restart(AdId ad) {
     nodes_[ad.v]->enable_keepalive(default_keepalive_);
   }
   nodes_[ad.v]->start();  // cold start: the protocol rebuilds from scratch
-  if (churn_observer_) churn_observer_();
+  if (churn_observer_) churn_observer_(ChurnKind::kNode);
 }
 
 void Network::set_keepalive(const KeepaliveConfig& config) {
@@ -395,7 +395,7 @@ void Network::set_link_state(LinkId link, bool up) {
   const Link& l = topo_.link(link);
   if (l.up == up) return;
   topo_.set_link_up(link, up);
-  if (churn_observer_) churn_observer_();
+  if (churn_observer_) churn_observer_(ChurnKind::kLink);
   if (!link_notifications_) return;
   if (nodes_[l.a.v]) nodes_[l.a.v]->on_link_change(l.b, up);
   if (nodes_[l.b.v]) nodes_[l.b.v]->on_link_change(l.a, up);

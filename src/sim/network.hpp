@@ -234,6 +234,7 @@ class Network {
   void set_keepalive(const KeepaliveConfig& config);
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
   [[nodiscard]] Topology& topo() noexcept { return topo_; }
   [[nodiscard]] const Topology& topo() const noexcept { return topo_; }
   [[nodiscard]] Node* node(AdId ad);
@@ -272,10 +273,13 @@ class Network {
   // timers scheduled by a destroyed node can detect they are orphaned.
   [[nodiscard]] std::uint64_t generation(AdId ad) const;
 
-  // Invoked on every topology-churn event (link up/down transition, node
-  // crash, node restart). The invariant monitor hooks this to time
-  // reconvergence and separate transient from persistent violations.
-  void set_churn_observer(std::function<void()> fn) {
+  // Invoked on every topology-churn event, tagged with its class: kLink
+  // for a link up/down transition, kNode for a crash, restart, or
+  // quarantine. The invariant monitor hooks this to time reconvergence
+  // (with a per-class window) and separate transient from persistent
+  // violations.
+  enum class ChurnKind : std::uint8_t { kLink = 0, kNode = 1 };
+  void set_churn_observer(std::function<void(ChurnKind)> fn) {
     churn_observer_ = std::move(fn);
   }
 
@@ -336,7 +340,7 @@ class Network {
   NodeFactory node_factory_;
   KeepaliveConfig default_keepalive_;
   bool keepalive_default_set_ = false;
-  std::function<void()> churn_observer_;
+  std::function<void(ChurnKind)> churn_observer_;
   std::vector<ByzantineSpec> byz_specs_;
   std::vector<ByzantineSpec> byz_by_ad_;  // indexed by AdId; kNone = honest
   std::vector<std::uint8_t> quarantined_;  // indexed by AdId

@@ -212,7 +212,8 @@ ArchRunOutput run_one(const std::string& arch, const SimCase& c,
     monitor = std::make_unique<InvariantMonitor>(net, mon_config, pair_probe);
     monitor->set_reachable_fn(
         make_design_reachable(arch, net, topo, policies, &order));
-    net.set_churn_observer([&m = *monitor] { m.note_fault(); });
+    net.set_churn_observer(
+        [&m = *monitor](Network::ChurnKind) { m.note_fault(); });
     monitor->start(c.horizon_ms);
   }
 
@@ -236,6 +237,14 @@ ArchRunOutput run_one(const std::string& arch, const SimCase& c,
         break;
       case SimEvent::Kind::kByzantine:
         break;  // configured below
+      case SimEvent::Kind::kLinkFlap: {
+        const auto link = topo.find_link(e.a, e.b);
+        if (link) {
+          injector.flap_link(*link, e.at_ms, e.period_ms, /*duty=*/0.5,
+                             e.cycles);
+        }
+        break;
+      }
     }
   }
   for (const ByzantineSpec& spec : byz) {

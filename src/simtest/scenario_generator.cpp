@@ -24,6 +24,7 @@ SimCase generate_sim_case(const SimCaseParams& params) {
   std::uint64_t flow_state = params.seed ^ 0x666c6f77ULL;     // "flow"
   std::uint64_t sched_state = params.seed ^ 0x7363686dULL;    // "schm"
   std::uint64_t fault_state = params.seed ^ 0x66617565ULL;    // "faue"
+  std::uint64_t flap_state = params.seed ^ 0x666c6170ULL;     // "flap"
 
   // --- topology ---------------------------------------------------------
   Prng topo_prng(splitmix64(topo_state));
@@ -132,6 +133,27 @@ SimCase generate_sim_case(const SimCaseParams& params) {
       }
       c.events.push_back(e);
     }
+  }
+
+  // --- link-flap storm --------------------------------------------------
+  Prng flap_prng(splitmix64(flap_state));
+  if (flap_prng.bernoulli(params.flap_storm_prob) &&
+      c.topo.link_count() > 0) {
+    const Link& link =
+        c.topo.links()[flap_prng.below(c.topo.link_count())];
+    SimEvent e;
+    e.kind = SimEvent::Kind::kLinkFlap;
+    e.at_ms = churn_begin +
+              flap_prng.uniform01() * (churn_end - churn_begin) * 0.5;
+    e.a = link.a;
+    e.b = link.b;
+    // Period comfortably above the keepalive detection floor, cycle count
+    // small enough that the storm ends inside the churn window.
+    e.period_ms = 150.0 + flap_prng.uniform01() * 150.0;
+    const std::uint32_t span_cycles =
+        params.max_flap_cycles > 2 ? params.max_flap_cycles - 1 : 1;
+    e.cycles = 2 + static_cast<std::uint32_t>(flap_prng.below(span_cycles));
+    c.events.push_back(e);
   }
 
   std::stable_sort(c.events.begin(), c.events.end(),

@@ -36,6 +36,12 @@ struct SimCaseParams {
   std::uint32_t max_crash_events = 2;
   double permanent_failure_prob = 0.3;  // link-down with no repair
   double byzantine_prob = 0.25;         // chance of one Byzantine AD
+  // Chance of one link-flap storm (a link cycling down/up several times
+  // in quick succession -- the schedule shape route-flap damping exists
+  // for). Drawn from its own splitmix64 stream, so flipping this knob
+  // never reshuffles the other schedule dimensions of an existing seed.
+  double flap_storm_prob = 0.2;
+  std::uint32_t max_flap_cycles = 4;  // 2..max cycles per storm
 
   // Message-fault intensity ceilings (rates drawn uniformly below these).
   double max_duplicate_rate = 0.02;

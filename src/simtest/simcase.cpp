@@ -25,6 +25,7 @@ const char* event_keyword(SimEvent::Kind kind) {
     case SimEvent::Kind::kLinkDown: return "link-down";
     case SimEvent::Kind::kCrash: return "crash";
     case SimEvent::Kind::kByzantine: return "byzantine";
+    case SimEvent::Kind::kLinkFlap: return "link-flap";
   }
   return "?";
 }
@@ -143,6 +144,11 @@ std::string format_sim_case(const SimCase& c) {
         if (e.misbehavior == Misbehavior::kFalseOrigin) {
           out += " victim=" + c.topo.ad(e.victim).name;
         }
+        break;
+      case SimEvent::Kind::kLinkFlap:
+        out += " a=" + c.topo.ad(e.a).name + " b=" + c.topo.ad(e.b).name +
+               " period-ms=" + fmt_double(e.period_ms) +
+               " cycles=" + std::to_string(e.cycles);
         break;
     }
     out += "\n";
@@ -354,6 +360,7 @@ SimCaseParseResult parse_sim_case(std::string_view text) {
     if (kind == "link-down") e.kind = SimEvent::Kind::kLinkDown;
     else if (kind == "crash") e.kind = SimEvent::Kind::kCrash;
     else if (kind == "byzantine") e.kind = SimEvent::Kind::kByzantine;
+    else if (kind == "link-flap") e.kind = SimEvent::Kind::kLinkFlap;
     else {
       return SimCaseParseError{
           d.line, "unknown event kind '" + std::string(kind) + "'"};
@@ -393,6 +400,16 @@ SimCaseParseResult parse_sim_case(std::string_view text) {
         e.misbehavior = *m;
       } else if (key == "victim") {
         if (auto pe = resolve(value, d.line, e.victim)) return *pe;
+      } else if (key == "period-ms") {
+        if (!scan.parsed_double(value, e.period_ms)) {
+          return SimCaseParseError{d.line, err};
+        }
+      } else if (key == "cycles") {
+        std::uint64_t cycles = 0;
+        if (!scan.parsed_u64(value, cycles)) {
+          return SimCaseParseError{d.line, err};
+        }
+        e.cycles = static_cast<std::uint32_t>(cycles);
       } else {
         return SimCaseParseError{
             d.line, "unknown event attribute '" + std::string(key) + "'"};
@@ -416,6 +433,18 @@ SimCaseParseResult parse_sim_case(std::string_view text) {
         }
         if (e.misbehavior == Misbehavior::kNone) {
           return SimCaseParseError{d.line, "byzantine needs kind="};
+        }
+        break;
+      case SimEvent::Kind::kLinkFlap:
+        if (!have_link_a || !have_link_b) {
+          return SimCaseParseError{d.line, "link-flap needs a= and b="};
+        }
+        if (!c.topo.find_link(e.a, e.b)) {
+          return SimCaseParseError{d.line, "no such link"};
+        }
+        if (e.period_ms <= 0.0 || e.cycles == 0) {
+          return SimCaseParseError{
+              d.line, "link-flap needs period-ms>0 and cycles>=1"};
         }
         break;
     }
@@ -508,6 +537,7 @@ SimCase remove_ad(const SimCase& c, AdId victim) {
     SimEvent n = e;
     switch (e.kind) {
       case SimEvent::Kind::kLinkDown:
+      case SimEvent::Kind::kLinkFlap:
         if (e.a == victim || e.b == victim) continue;
         n.a = mapped(e.a);
         n.b = mapped(e.b);
@@ -542,7 +572,8 @@ SimCase remove_link(const SimCase& c, AdId a, AdId b) {
   out.policies = c.policies;
   out.flows = c.flows;
   for (const SimEvent& e : c.events) {
-    if (e.kind == SimEvent::Kind::kLinkDown &&
+    if ((e.kind == SimEvent::Kind::kLinkDown ||
+         e.kind == SimEvent::Kind::kLinkFlap) &&
         ((e.a == a && e.b == b) || (e.a == b && e.b == a))) {
       continue;
     }

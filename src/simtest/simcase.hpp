@@ -22,6 +22,7 @@
 //   event link-down at=500 a=backbone-0 b=regional-2 repair-ms=900
 //   event crash at=800 ad=regional-3 restart-ms=1200
 //   event byzantine at=1000 ad=regional-2 kind=route-leak
+//   event link-flap at=600 a=backbone-0 b=regional-2 period-ms=200 cycles=3
 //
 // parse_sim_case(format_sim_case(c)) reproduces c, and re-serializing is
 // byte-identical (round-trip tested).
@@ -47,16 +48,20 @@ struct SimEvent {
     kLinkDown = 0,   // fail link (a, b) at at_ms; repair_ms 0 = never
     kCrash = 1,      // crash `ad` at at_ms; restart at repair_ms (0 = never)
     kByzantine = 2,  // `ad` starts misbehaving as `misbehavior` at at_ms
+    kLinkFlap = 3,   // link (a, b) flaps: `cycles` down/up pairs starting
+                     // at at_ms, one pair per period_ms (50% duty)
   };
 
   Kind kind = Kind::kLinkDown;
   SimTime at_ms = 0.0;
-  AdId a;  // link endpoints (kLinkDown)
+  AdId a;  // link endpoints (kLinkDown, kLinkFlap)
   AdId b;
   SimTime repair_ms = 0.0;  // absolute repair/restart time; 0 = permanent
   AdId ad;                  // subject AD (kCrash, kByzantine)
   Misbehavior misbehavior = Misbehavior::kNone;
   AdId victim;  // false-origin hijack target; invalid otherwise
+  SimTime period_ms = 0.0;    // flap cycle length (kLinkFlap)
+  std::uint32_t cycles = 0;   // flap cycle count (kLinkFlap)
 
   friend bool operator==(const SimEvent&, const SimEvent&) = default;
 };

@@ -1,0 +1,70 @@
+// Paper-scale failure & recovery (soak label): run_scale_chaos at 1e3
+// ADs must carry a regional partition/heal cleanly for every design
+// point -- zero persistent invariant violations, a finite storm-class
+// reconvergence time, and a deterministic counter fingerprint -- and
+// the damped DV flap storm must both stay clean and measurably cut the
+// update churn against the undamped run.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/chaos.hpp"
+
+namespace idr {
+namespace {
+
+ScaleChaosParams scale_params(StormFamily storm) {
+  ScaleChaosParams params;
+  params.target_ads = 1'000;
+  params.storm = storm;
+  return params;
+}
+
+TEST(ChaosScale, PartitionHealsCleanlyAtOneThousandAds) {
+  for (const std::string& arch : chaos_design_points()) {
+    SCOPED_TRACE(arch);
+    const ScaleChaosResult result =
+        run_scale_chaos(arch, scale_params(StormFamily::kPartition));
+    EXPECT_GT(result.storm_transitions, 0u);
+    EXPECT_EQ(result.invariants.persistent_violations(), 0u)
+        << "partition/heal left persistent forwarding damage";
+    EXPECT_GE(result.reconverge_ms, 0.0) << "never reconverged";
+    // The heal is a distinct transition: reconvergence is measured from
+    // the LAST transition, so it must fit inside the partition window.
+    EXPECT_LE(result.reconverge_ms, 3'000.0);
+  }
+}
+
+TEST(ChaosScale, PartitionRunsAreDeterministic) {
+  const ScaleChaosParams params = scale_params(StormFamily::kPartition);
+  const ScaleChaosResult a = run_scale_chaos("ecma", params);
+  const ScaleChaosResult b = run_scale_chaos("ecma", params);
+  EXPECT_EQ(a.counter_fingerprint, b.counter_fingerprint);
+  EXPECT_EQ(a.reconverge_ms, b.reconverge_ms);
+  EXPECT_EQ(a.updates_during_storm, b.updates_during_storm);
+}
+
+TEST(ChaosScale, DampedFlapStormStaysCleanAndCutsChurn) {
+  for (const std::string& arch : {std::string("ecma"), std::string("idrp")}) {
+    SCOPED_TRACE(arch);
+    ScaleChaosParams off = scale_params(StormFamily::kFlapStorm);
+    ScaleChaosParams on = off;
+    on.damping.enabled = true;
+    on.damping.half_life_ms = 500.0;
+
+    const ScaleChaosResult undamped = run_scale_chaos(arch, off);
+    const ScaleChaosResult damped = run_scale_chaos(arch, on);
+    EXPECT_EQ(undamped.invariants.persistent_violations(), 0u);
+    EXPECT_EQ(damped.invariants.persistent_violations(), 0u)
+        << "damping must not black-hole released routes";
+    EXPECT_GE(damped.reconverge_ms, 0.0);
+    EXPECT_GT(damped.routes_suppressed, 0u) << "damping never engaged";
+    EXPECT_EQ(damped.suppressed_at_end, 0u)
+        << "suppressed routes must be released by the quiet tail";
+    EXPECT_LT(damped.updates_during_storm, undamped.updates_during_storm)
+        << "damping must reduce storm churn";
+  }
+}
+
+}  // namespace
+}  // namespace idr

@@ -50,7 +50,108 @@ struct SoakOptions {
   std::size_t byzantine = 0;
   bool defended = false;
   std::string json_path;
+  // Paper-scale storm mode: --profile-ads N switches the soak from the
+  // Figure 1 internetwork to the hierarchical scale profile and runs one
+  // storm family (run_scale_chaos) per design point.
+  std::uint32_t profile_ads = 0;
+  std::string storm = "flap";
+  bool damping = false;        // DV route-flap damping on
+  double ls_holddown_ms = 0.0; // LS origination hold-down
 };
+
+bool parse_storm(const std::string& name, StormFamily& out) {
+  if (name == "flap") out = StormFamily::kFlapStorm;
+  else if (name == "withdraw") out = StormFamily::kWithdrawStorm;
+  else if (name == "partition") out = StormFamily::kPartition;
+  else if (name == "core" || name == "core-outage") out = StormFamily::kCoreOutage;
+  else return false;
+  return true;
+}
+
+int run_scale_seed(const SoakOptions& opts, std::uint64_t seed) {
+  StormFamily storm;
+  if (!parse_storm(opts.storm, storm)) {
+    std::fprintf(stderr, "chaos_soak: unknown storm '%s'\n",
+                 opts.storm.c_str());
+    return 1;
+  }
+  ScaleChaosParams params;
+  params.seed = seed;
+  params.target_ads = opts.profile_ads;
+  params.storm = storm;
+  params.damping.enabled = opts.damping;
+  if (opts.damping) params.damping.half_life_ms = 500.0;
+  params.ls_holddown_ms = opts.ls_holddown_ms;
+
+  std::printf("-- scale storm: %s, %u ADs, seed %" PRIu64
+              ", damping %s, holddown %.0f ms --\n",
+              to_string(storm), opts.profile_ads, seed,
+              opts.damping ? "on" : "off", opts.ls_holddown_ms);
+  Table table({"arch", "transitions", "converge(ms)", "reconv(ms)",
+               "storm msgs", "msgs/s", "blast peak%", "suppressed",
+               "ls held", "transient", "persistent"});
+  int failures = 0;
+  for (const std::string& arch : chaos_design_points()) {
+    const ScaleChaosResult first = run_scale_chaos(arch, params);
+    const ScaleChaosResult second = run_scale_chaos(arch, params);
+    const InvariantStats& inv = first.invariants;
+    // Class 0 is the implicit start-up class; the storm class is the one
+    // run_scale_chaos registered after it.
+    const double blast =
+        inv.fault_classes.size() > 1 ? inv.fault_classes[1].peak_blast : 0.0;
+    table.add_row(
+        {arch, Table::integer(static_cast<long long>(first.storm_transitions)),
+         Table::num(first.converge_ms),
+         first.reconverge_ms >= 0.0 ? Table::num(first.reconverge_ms)
+                                    : "never",
+         Table::integer(static_cast<long long>(first.updates_during_storm)),
+         Table::num(first.updates_per_sec_storm), Table::num(100.0 * blast),
+         Table::integer(static_cast<long long>(first.routes_suppressed)),
+         Table::integer(
+             static_cast<long long>(first.ls_originations_suppressed)),
+         Table::integer(static_cast<long long>(inv.transient_violations())),
+         Table::integer(
+             static_cast<long long>(inv.persistent_violations()))});
+    if (first.counter_fingerprint != second.counter_fingerprint) {
+      std::fprintf(stderr,
+                   "FAIL [%s seed %" PRIu64
+                   "]: non-deterministic scale run -- fingerprint "
+                   "%016" PRIx64 " vs %016" PRIx64 "\n",
+                   arch.c_str(), seed, first.counter_fingerprint,
+                   second.counter_fingerprint);
+      ++failures;
+    }
+    if (inv.persistent_violations() != 0) {
+      std::fprintf(stderr,
+                   "FAIL [%s seed %" PRIu64 "]: %" PRIu64
+                   " persistent invariant violations under %s storm\n",
+                   arch.c_str(), seed, inv.persistent_violations(),
+                   to_string(storm));
+      for (const InvariantFinding& f : first.persistent_findings) {
+        std::fprintf(stderr, "  %s ad%u->ad%u at %.0f ms, path:",
+                     to_string(f.kind), f.src.v, f.dst.v, f.at_ms);
+        for (const AdId hop : f.path) std::fprintf(stderr, " %u", hop.v);
+        std::fprintf(stderr, "\n");
+      }
+      ++failures;
+    }
+    if (first.reconverge_ms < 0.0) {
+      std::fprintf(stderr,
+                   "FAIL [%s seed %" PRIu64
+                   "]: never reconverged from the %s storm\n",
+                   arch.c_str(), seed, to_string(storm));
+      ++failures;
+    }
+    if (first.storm_transitions == 0) {
+      std::fprintf(stderr,
+                   "FAIL [%s seed %" PRIu64 "]: vacuous storm (0 transitions)\n",
+                   arch.c_str(), seed);
+      ++failures;
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  return failures;
+}
 
 ChaosParams make_params(const SoakOptions& opts, std::uint64_t seed) {
   ChaosParams params;
@@ -242,11 +343,22 @@ int main(int argc, char** argv) {
       opts.defended = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-ads") == 0 && i + 1 < argc) {
+      opts.profile_ads = static_cast<std::uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--storm") == 0 && i + 1 < argc) {
+      opts.storm = argv[++i];
+    } else if (std::strcmp(argv[i], "--damping") == 0) {
+      opts.damping = true;
+    } else if (std::strcmp(argv[i], "--ls-holddown") == 0 && i + 1 < argc) {
+      opts.ls_holddown_ms = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed N] [--duration-ms T] [--runs K] "
-                   "[--byzantine N] [--defended] [--json PATH]\n",
-                   argv[0]);
+                   "[--byzantine N] [--defended] [--json PATH]\n"
+                   "       %s --profile-ads N "
+                   "[--storm flap|withdraw|partition|core] [--damping] "
+                   "[--ls-holddown MS] [--seed N] [--runs K]\n",
+                   argv[0], argv[0]);
       return 2;
     }
   }
@@ -254,8 +366,12 @@ int main(int argc, char** argv) {
   int failures = 0;
   std::vector<ChaosResult> report;
   for (int r = 0; r < opts.runs; ++r) {
-    failures += run_seed(opts, opts.seed + static_cast<std::uint64_t>(r),
-                         report);
+    const std::uint64_t seed = opts.seed + static_cast<std::uint64_t>(r);
+    if (opts.profile_ads > 0) {
+      failures += run_scale_seed(opts, seed);
+    } else {
+      failures += run_seed(opts, seed, report);
+    }
   }
 
   if (!opts.json_path.empty()) {
