@@ -195,6 +195,7 @@ const char* to_string(StormFamily family) {
     case StormFamily::kWithdrawStorm: return "withdraw-storm";
     case StormFamily::kPartition: return "partition";
     case StormFamily::kCoreOutage: return "core-outage";
+    case StormFamily::kRestartStorm: return "restart-storm";
   }
   return "?";
 }
@@ -202,7 +203,8 @@ const char* to_string(StormFamily family) {
 const std::vector<StormFamily>& storm_families() {
   static const std::vector<StormFamily> kAll = {
       StormFamily::kFlapStorm, StormFamily::kWithdrawStorm,
-      StormFamily::kPartition, StormFamily::kCoreOutage};
+      StormFamily::kPartition, StormFamily::kCoreOutage,
+      StormFamily::kRestartStorm};
   return kAll;
 }
 
@@ -217,6 +219,7 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
   ScaleFactoryOptions fopts;
   fopts.damping = params.damping;
   fopts.ls_holddown_ms = params.ls_holddown_ms;
+  fopts.gr = params.gr;
   Network::NodeFactory factory = make_scale_factory(arch, profile, fopts);
   net.set_node_factory(factory);
   for (const Ad& ad : topo.ads()) net.attach(ad.id, factory(ad.id));
@@ -225,6 +228,13 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
   // storm under liveness traffic (bench_chaos soaks the keepalive path
   // at Figure 1 scale).
   net.set_link_notifications(true);
+  if (params.storm == StormFamily::kRestartStorm) {
+    // Node outages are real crashes here, observed through the crash
+    // oracle (the GR restart-signaling model: down = enter grace, up =
+    // recovery signal triggering the resync).
+    net.set_crash_notifications(true);
+    if (params.gr.enabled) net.set_graceful_restart(params.gr);
+  }
   net.start_all();
 
   ScaleChaosResult result;
@@ -237,6 +247,12 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
   engine.run();
   IDR_CHECK_MSG(engine.empty(), "scale chaos: cold start did not converge");
   result.converge_ms = engine.now();
+  if (params.storm == StormFamily::kRestartStorm &&
+      params.overload.enabled()) {
+    // Arm the bounded ingress queues on the settled network: the storm,
+    // not cold bring-up, is the overload scenario under test.
+    net.set_overload(params.overload);
+  }
 
   // --- monitor: beacon destinations, stratified source slice ----------
   InvariantConfig inv = params.invariants;
@@ -267,6 +283,12 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
       break;
     case StormFamily::kCoreOutage:
       window = params.windows.core_outage_ms;
+      break;
+    case StormFamily::kRestartStorm:
+      window = params.windows.restart_ms;
+      // The grace window is designed-in retention: a flush at its expiry
+      // legitimately re-opens convergence that long after the crash.
+      if (params.gr.enabled) window += params.gr.grace_ms;
       break;
   }
   if (params.damping.enabled) {
@@ -383,6 +405,25 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
       last = t0 + params.outage_ms;
       break;
     }
+    case StormFamily::kRestartStorm: {
+      std::vector<AdId> pool = profile.transits;
+      prng.shuffle(pool);
+      const std::size_t n = std::min(params.restart_nodes, pool.size());
+      IDR_CHECK_MSG(n > 0, "scale chaos: no transit ADs to restart");
+      for (std::uint32_t w = 0; w < params.restart_waves; ++w) {
+        const SimTime wave_at =
+            t0 + w * (params.restart_down_ms + params.restart_gap_ms);
+        for (std::size_t i = 0; i < n; ++i) {
+          // Staggered, not synchronized: each AD's crash lands a little
+          // after the previous one's, the overload queues see a rolling
+          // wave rather than one impulse.
+          const SimTime at = wave_at + i * params.restart_stagger_ms;
+          injector.crash_node_at(pool[i], at, params.restart_down_ms);
+          last = std::max(last, at + params.restart_down_ms);
+        }
+      }
+      break;
+    }
   }
   result.storm_end_ms = last;
 
@@ -409,7 +450,12 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
   result.persistent_findings = monitor.persistent_findings();
   result.totals = net.total();
   result.counter_fingerprint = counter_fingerprint(net, topo);
-  result.storm_transitions = injector.failures_injected();
+  result.storm_transitions =
+      injector.failures_injected() + injector.crashes_injected();
+  result.node_crashes = injector.crashes_injected();
+  result.overload = net.overload_stats();
+  result.gr_recoveries = net.gr_recoveries();
+  result.gr_flushes = net.gr_flushes();
   result.updates_during_storm = msgs_at_settle - msgs_at_begin;
   result.updates_after_storm = result.totals.msgs_sent - msgs_at_settle;
   result.updates_per_sec_storm =
@@ -431,15 +477,26 @@ ScaleChaosResult run_scale_chaos(const std::string& arch,
     if (!node) continue;
     FlapDamper* damper = nullptr;
     if (arch == "ecma") {
-      damper = &static_cast<EcmaNode*>(node)->damper();
+      auto* n = static_cast<EcmaNode*>(node);
+      damper = &n->damper();
+      result.gr_stale_flushed += n->gr_stale_flushed();
+      result.gr_resyncs += n->gr_resyncs();
     } else if (arch == "idrp") {
-      damper = &static_cast<IdrpNode*>(node)->damper();
+      auto* n = static_cast<IdrpNode*>(node);
+      damper = &n->damper();
+      result.gr_stale_flushed += n->gr_stale_flushed();
+      result.gr_resyncs += n->gr_resyncs();
     } else if (arch == "ls-hbh") {
-      result.ls_originations_suppressed +=
-          static_cast<LshhNode*>(node)->originations_suppressed();
+      auto* n = static_cast<LshhNode*>(node);
+      result.ls_originations_suppressed += n->originations_suppressed();
+      result.gr_retained += n->gr_retained();
+      result.gr_resyncs += n->gr_resyncs();
     } else if (arch == "orwg") {
-      result.ls_originations_suppressed +=
-          static_cast<OrwgNode*>(node)->originations_suppressed();
+      auto* n = static_cast<OrwgNode*>(node);
+      result.ls_originations_suppressed += n->originations_suppressed();
+      result.gr_retained += n->gr_retained();
+      result.gr_resyncs += n->gr_resyncs();
+      result.gr_memoized += n->gr_memoized();
     }
     if (damper) {
       const DampingStats& ds = damper->stats();

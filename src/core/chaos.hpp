@@ -161,6 +161,11 @@ enum class StormFamily : std::uint8_t {
   kWithdrawStorm = 1,  // batches of beacon stubs going dark and returning
   kPartition = 2,      // a regional subtree cut off the backbone, healed
   kCoreOutage = 3,     // a transit-core (backbone) node failure + repair
+  // Staggered transit-core node crash/restart cycles driven through the
+  // crash oracle (Network::set_crash_notifications), with graceful
+  // restart and ingress overload protection as A/B knobs. Benched by
+  // bench_restart (BENCH_restart.json), not bench_chaos_scale.
+  kRestartStorm = 4,
 };
 
 [[nodiscard]] const char* to_string(StormFamily family);
@@ -195,9 +200,21 @@ struct ScaleChaosParams {
   // Partition / core outage: time the uplink(s) stay down before healing.
   SimTime outage_ms = 600.0;
 
+  // Restart storm: `restart_nodes` seeded-shuffled transit ADs crash
+  // (soft state lost) and restart cold `restart_down_ms` later, staggered
+  // `restart_stagger_ms` apart, in `restart_waves` waves separated by
+  // `restart_gap_ms`. Failure detection uses the crash oracle.
+  std::size_t restart_nodes = 8;
+  std::uint32_t restart_waves = 2;
+  SimTime restart_down_ms = 300.0;
+  SimTime restart_gap_ms = 500.0;
+  SimTime restart_stagger_ms = 40.0;
+
   // Recovery knobs, all off by default (existing behavior unchanged).
   DampingConfig damping;        // DV family (ECMA, IDRP)
   SimTime ls_holddown_ms = 0.0; // LS family (LS-HbH, ORWG)
+  GrConfig gr;                  // graceful restart (restart storm)
+  OverloadConfig overload;      // bounded class-prioritized ingress queues
 
   // Per-storm-class reconvergence grace windows (measured from the LAST
   // transition of the storm; every transition extends the deadline).
@@ -206,6 +223,9 @@ struct ScaleChaosParams {
     SimTime withdraw_ms = 2'000.0;
     SimTime partition_ms = 3'000.0;
     SimTime core_outage_ms = 3'000.0;
+    // Restart storm; when GR is on, the grace window is added on top
+    // (a flush at grace expiry legitimately re-opens convergence).
+    SimTime restart_ms = 3'000.0;
   };
   StormWindows windows;
 
@@ -254,6 +274,16 @@ struct ScaleChaosResult {
   SimTime suppressed_ms_total = 0.0;      // damped-route unreachability
   std::size_t suppressed_at_end = 0;      // still damped at the horizon
   std::uint64_t ls_originations_suppressed = 0;  // hold-down no-op windows
+
+  // Restart-storm accounting (all zero for the link-event families).
+  std::size_t node_crashes = 0;       // crash events injected
+  OverloadStats overload;             // ingress queueing, drops by class
+  std::uint64_t gr_recoveries = 0;    // grace windows ended by a restart
+  std::uint64_t gr_flushes = 0;       // grace windows that expired
+  std::uint64_t gr_stale_flushed = 0; // DV stale entries/RIBs poisoned
+  std::uint64_t gr_resyncs = 0;       // resyncs toward recovered nodes
+  std::uint64_t gr_retained = 0;      // LS adjacency retentions entered
+  std::uint64_t gr_memoized = 0;      // ORWG cache answers inside grace
 };
 
 // Run one storm family over the scale profile for `arch`. Deterministic

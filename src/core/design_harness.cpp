@@ -166,7 +166,9 @@ FlowProbeFn make_design_probe(const std::string& arch, Network& net,
       return walk_probe(
           net, topo, flow.src, flow.dst,
           [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
-            auto* node = static_cast<EcmaNode*>(net.node(cur));
+            // forwarding_node: an in-grace AD answers from its frozen
+            // pre-crash FIB (graceful restart); a hard-down AD is null.
+            auto* node = static_cast<EcmaNode*>(net.forwarding_node(cur));
             if (!node) return std::nullopt;  // walked into a crashed AD
             const auto fwd = node->forward(flow.dst, flow.qos, gone_down);
             if (!fwd) return std::nullopt;
@@ -181,7 +183,7 @@ FlowProbeFn make_design_probe(const std::string& arch, Network& net,
           net, topo, flow.src, flow.dst,
           [&](AdId cur,
               const std::vector<AdId>& path) -> std::optional<AdId> {
-            auto* node = static_cast<IdrpNode*>(net.node(cur));
+            auto* node = static_cast<IdrpNode*>(net.forwarding_node(cur));
             if (!node) return std::nullopt;
             const AdId prev = path.size() >= 2 ? path[path.size() - 2] : kNoAd;
             return node->forward(flow, prev);
@@ -193,7 +195,7 @@ FlowProbeFn make_design_probe(const std::string& arch, Network& net,
       return walk_probe(
           net, topo, flow.src, flow.dst,
           [&](AdId cur, const std::vector<AdId>&) -> std::optional<AdId> {
-            auto* node = static_cast<LshhNode*>(net.node(cur));
+            auto* node = static_cast<LshhNode*>(net.forwarding_node(cur));
             if (!node) return std::nullopt;
             return node->forward(flow);
           });
@@ -203,7 +205,7 @@ FlowProbeFn make_design_probe(const std::string& arch, Network& net,
     // Source-routed: the route server answers at the source.
     return [&net](const FlowSpec& flow) {
       Probe p;
-      auto* node = static_cast<OrwgNode*>(net.node(flow.src));
+      auto* node = static_cast<OrwgNode*>(net.forwarding_node(flow.src));
       if (!node) return p;  // callers skip dead endpoints anyway
       auto path = node->policy_route(flow);
       if (!path) {
@@ -258,7 +260,7 @@ bool ecma_reachable(const Network& net, const Topology& topo,
       }
     }
     for (const Adjacency& adj : topo.live_neighbors(cur)) {
-      if (!net.alive(adj.neighbor)) continue;
+      if (!net.usable(adj.neighbor)) continue;
       if (unusable_for(net, adj.neighbor, dst, quarantine_only)) continue;
       const bool hop_is_up = order.is_up(cur, adj.neighbor);
       if (gone_down && hop_is_up) continue;  // up after down: illegal shape
@@ -283,7 +285,7 @@ bool policy_reachable(const Network& net, const Topology& topo,
   options.first_found = true;
   options.expansion_budget = 200'000;
   for (const Ad& ad : topo.ads()) {
-    if (!net.alive(ad.id) || unusable_for(net, ad.id, dst, quarantine_only)) {
+    if (!net.usable(ad.id) || unusable_for(net, ad.id, dst, quarantine_only)) {
       options.avoid.push_back(ad.id);
     }
   }

@@ -91,48 +91,53 @@ Network::NodeFactory make_scale_factory(const std::string& arch,
   const double refresh = options.periodic_refresh_ms;
   const DampingConfig damping = options.damping;
   const double holddown = options.ls_holddown_ms;
+  const GrConfig gr = options.gr;
   if (arch == "ecma") {
-    return [p, refresh, damping](AdId ad) -> std::unique_ptr<Node> {
+    return [p, refresh, damping, gr](AdId ad) -> std::unique_ptr<Node> {
       EcmaConfig config;
       config.qos_mask = 1;  // single traffic class at scale
       config.stub = is_stub_role(p->topo, ad);
       config.originate = p->is_beacon[ad.v] != 0;
       config.mrai_ms = 10.0;  // coalesce the per-beacon update waves
       config.damping = damping;
+      config.gr = gr;
       auto node = std::make_unique<EcmaNode>(&p->order.order, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "idrp") {
-    return [p, refresh, damping](AdId ad) -> std::unique_ptr<Node> {
+    return [p, refresh, damping, gr](AdId ad) -> std::unique_ptr<Node> {
       IdrpConfig config;
       config.routes_per_dest = 1;  // one route per beacon destination
       config.originate = p->is_beacon[ad.v] != 0;
       config.mrai_ms = 10.0;
       config.shared_updates = true;  // open terms: one encode per wave
       config.damping = damping;
+      config.gr = gr;
       auto node = std::make_unique<IdrpNode>(&p->policies, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "ls-hbh") {
-    return [p, refresh, holddown](AdId) -> std::unique_ptr<Node> {
+    return [p, refresh, holddown, gr](AdId) -> std::unique_ptr<Node> {
       LshhConfig config;
       config.hierarchical = true;
       config.link_holddown_ms = holddown;
+      config.gr = gr;
       auto node = std::make_unique<LshhNode>(&p->policies, config);
       node->set_periodic_refresh(refresh);
       return node;
     };
   }
   if (arch == "orwg") {
-    return [p, refresh, holddown](AdId) -> std::unique_ptr<Node> {
+    return [p, refresh, holddown, gr](AdId) -> std::unique_ptr<Node> {
       OrwgConfig config;
       config.hierarchical = true;
       config.periodic_refresh_ms = refresh;
       config.link_holddown_ms = holddown;
+      config.gr = gr;
       return std::make_unique<OrwgNode>(&p->policies, config);
     };
   }

@@ -62,6 +62,7 @@ struct ScaleFactoryOptions {
   double periodic_refresh_ms = 0.0;
   DampingConfig damping;          // DV family (ECMA, IDRP)
   double ls_holddown_ms = 0.0;    // LS family (LS-HbH, ORWG)
+  GrConfig gr;                    // graceful restart, all four families
 };
 
 [[nodiscard]] Network::NodeFactory make_scale_factory(

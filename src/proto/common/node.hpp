@@ -32,25 +32,39 @@ class ProtoNode : public Node {
     return out;
   }
 
+  // Allocation-free live_neighbors(): visits the same adjacencies in the
+  // same order without materializing a vector. This is the hot broadcast
+  // path at paper scale (1e5 ADs x every flood/refresh).
+  template <typename Fn>
+  void for_each_live_neighbor(Fn&& fn) const {
+    for (const Adjacency& adj : net_->topo().neighbors(self_)) {
+      if (!net_->topo().link(adj.link).up) continue;
+      if (!neighbor_alive(adj.neighbor)) continue;
+      fn(adj);
+    }
+  }
+
   // Count-and-drop for a PDU that failed to decode or carried an unknown
   // message type: never abort on wire input.
   void drop_malformed() { net_->note_malformed(self_); }
 
   // Send an encoded PDU to an adjacent AD.
-  void send_pdu(AdId to, wire::Writer&& w) {
-    net_->send(self_, to, std::move(w).take());
+  void send_pdu(AdId to, wire::Writer&& w,
+                MsgClass cls = MsgClass::kUpdate) {
+    net_->send(self_, to, std::move(w).take(), cls);
   }
 
   // Send the same bytes to every live neighbor except `except`. The
   // encoded frame is shared across all receivers (one allocation).
   void send_to_neighbors(const std::vector<std::uint8_t>& bytes,
-                         AdId except = kNoAd) {
+                         AdId except = kNoAd,
+                         MsgClass cls = MsgClass::kUpdate) {
     Payload payload;
-    for (const Adjacency& adj : live_neighbors()) {
-      if (adj.neighbor == except) continue;
+    for_each_live_neighbor([&](const Adjacency& adj) {
+      if (adj.neighbor == except) return;
       if (!payload) payload = make_payload(bytes);
-      net_->send(self_, adj.neighbor, payload);
-    }
+      net_->send(self_, adj.neighbor, payload, cls);
+    });
   }
 };
 

@@ -23,7 +23,7 @@ void EcmaNode::start() {
 void EcmaNode::schedule_refresh() {
   if (periodic_refresh_ms_ <= 0.0) return;
   schedule_guarded(periodic_refresh_ms_, [this] {
-    broadcast();
+    broadcast(MsgClass::kRefresh);
     schedule_refresh();
   });
 }
@@ -67,6 +67,10 @@ std::vector<std::uint8_t> EcmaNode::encode_for(AdId /*neighbor*/) const {
     const bool damped = damper_.enabled() && dst != self() &&
                         damper_.would_suppress(k, now);
     for (const Route* r : {&entry.best, &entry.best_down}) {
+      // A stale (graceful-restart retained) slot stays out of updates
+      // entirely: not poisoned -- absence means "no change" to an ECMA
+      // receiver -- and not advertised as usable either.
+      if (r->stale) continue;
       const bool valid = r->valid(config_.infinity) && !damped;
       std::uint8_t down_only = r->down_only ? 1 : 0;
       std::uint16_t metric = valid ? r->metric : config_.infinity;
@@ -142,14 +146,14 @@ bool EcmaNode::defense_accepts(const SenderBound& bound, AdId from, AdId dst,
   return true;
 }
 
-void EcmaNode::broadcast() {
+void EcmaNode::broadcast(MsgClass cls) {
   // encode_for ignores the neighbor (full-table updates, receiver-side
   // usability filtering), so one encode serves every adjacency.
   Payload payload;
-  for (const Adjacency& adj : live_neighbors()) {
+  for_each_live_neighbor([&](const Adjacency& adj) {
     if (!payload) payload = make_payload(encode_for(adj.neighbor));
-    net().send(self(), adj.neighbor, payload);
-  }
+    net().send(self(), adj.neighbor, payload, cls);
+  });
 }
 
 void EcmaNode::trigger_broadcast() {
@@ -249,6 +253,9 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
   auto apply = [&](Route& slot, const Route& candidate) -> bool {
     const bool qualifies = candidate.metric < config_.infinity;
     if (slot.valid(config_.infinity) && slot.via == from) {
+      // The via is talking (again): any stale-retained entry through it
+      // is refreshed, whether or not the metric moved.
+      slot.stale = false;
       // Authoritative update from the current next hop.
       const Route revised =
           qualifies ? candidate : Route{config_.infinity, from, false};
@@ -323,13 +330,38 @@ void EcmaNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
 
 void EcmaNode::on_link_change(AdId neighbor, bool up) {
   if (up) {
-    if (damper_.enabled()) {
+    if (damper_.enabled() || config_.gr.enabled) {
       // A link-up does not change our RIB, so a network-wide broadcast
       // would be byte-identical to what every other neighbor already
       // holds; only the recovered neighbor needs the table refresh.
+      // Under GR this targeted table is the incremental resync a
+      // restarted neighbor rebuilds its RIB from.
+      if (config_.gr.enabled) ++gr_resyncs_;
       net().send(self(), neighbor, encode_for(neighbor));
     } else {
       broadcast();
+    }
+    return;
+  }
+  if (config_.gr.enabled && net().in_grace(neighbor)) {
+    // Graceful restart: the neighbor crashed into a grace window. Keep
+    // its routes in the FIB (its frozen data plane still forwards) but
+    // flag them stale so they drop out of our updates; poison whatever
+    // its resync has not refreshed once grace expires.
+    bool any = false;
+    for (auto [k, entry] : rib_) {
+      (void)k;
+      for (Route* slot : {&entry.best, &entry.best_down}) {
+        if (slot->valid(config_.infinity) && slot->via == neighbor &&
+            slot->via != self()) {
+          slot->stale = true;
+          any = true;
+        }
+      }
+    }
+    if (any) {
+      schedule_guarded(config_.gr.grace_ms + 0.1,
+                       [this, neighbor] { flush_stale(neighbor); });
     }
     return;
   }
@@ -353,7 +385,40 @@ void EcmaNode::on_link_change(AdId neighbor, bool up) {
       }
     }
   }
-  if (changed) broadcast();
+  if (changed) broadcast(MsgClass::kWithdrawal);
+}
+
+void EcmaNode::flush_stale(AdId neighbor) {
+  if (net().in_grace(neighbor)) {
+    // The neighbor crashed again and its grace window was extended;
+    // retry after the extension.
+    schedule_guarded(config_.gr.grace_ms + 0.1,
+                     [this, neighbor] { flush_stale(neighbor); });
+    return;
+  }
+  // Grace expired. If the neighbor resynced in time every stale flag was
+  // cleared by its refreshed advertisements and this is a no-op; what is
+  // still flagged was never re-advertised and gets the deferred poison.
+  bool changed = false;
+  for (auto [k, entry] : rib_) {
+    bool key_changed = false;
+    for (Route* slot : {&entry.best, &entry.best_down}) {
+      if (slot->stale && slot->via == neighbor) {
+        slot->metric = config_.infinity;
+        slot->stale = false;
+        key_changed = true;
+        ++gr_stale_flushed_;
+      }
+    }
+    if (key_changed) {
+      const bool newly_suppressed = note_route_flap(k);
+      if (newly_suppressed || !damper_.enabled() ||
+          !damper_.would_suppress(k, net().engine().now())) {
+        changed = true;
+      }
+    }
+  }
+  if (changed) broadcast(MsgClass::kWithdrawal);
 }
 
 bool EcmaNode::note_route_flap(std::uint64_t k) {

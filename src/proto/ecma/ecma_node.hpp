@@ -62,6 +62,12 @@ struct EcmaConfig {
   // (local forwarding keeps the route) until the penalty decays to the
   // reuse threshold, at which point a release timer re-advertises them.
   DampingConfig damping;
+  // Graceful restart (off by default): when a neighbor crashes into a
+  // grace window, its routes are stale-flagged -- kept in the FIB and
+  // excluded from re-advertisement -- instead of poisoned; a guarded
+  // timer poisons whatever the neighbor's resync has not refreshed by
+  // grace expiry.
+  GrConfig gr;
 };
 
 class EcmaNode : public ProtoNode {
@@ -96,6 +102,14 @@ class EcmaNode : public ProtoNode {
   [[nodiscard]] std::size_t fib_entries() const noexcept;
   [[nodiscard]] const PartialOrder& order() const noexcept { return *order_; }
   [[nodiscard]] FlapDamper& damper() noexcept { return damper_; }
+  // GR accounting: RIB slots poisoned at grace expiry resp. targeted
+  // resync tables sent to a recovered neighbor.
+  [[nodiscard]] std::uint64_t gr_stale_flushed() const noexcept {
+    return gr_stale_flushed_;
+  }
+  [[nodiscard]] std::uint64_t gr_resyncs() const noexcept {
+    return gr_resyncs_;
+  }
 
   static constexpr std::uint8_t kMsgUpdate = 1;
 
@@ -104,6 +118,9 @@ class EcmaNode : public ProtoNode {
     std::uint16_t metric = 0xffff;
     AdId via;
     bool down_only = false;
+    // Graceful-restart retention: the via is restarting; keep forwarding
+    // over this route but stop advertising it until refreshed or flushed.
+    bool stale = false;
     [[nodiscard]] bool valid(std::uint16_t infinity) const noexcept {
       return metric < infinity;
     }
@@ -118,9 +135,10 @@ class EcmaNode : public ProtoNode {
            static_cast<std::uint8_t>(qos);
   }
 
-  void broadcast();
+  void broadcast(MsgClass cls = MsgClass::kUpdate);
   void trigger_broadcast();
   void schedule_refresh();
+  void flush_stale(AdId neighbor);
   // Returns true when this flap newly suppressed the key (see
   // FlapDamper::note_flap): the crossing must still be broadcast.
   bool note_route_flap(std::uint64_t k);
@@ -152,6 +170,8 @@ class EcmaNode : public ProtoNode {
   EcmaConfig config_;
   FlapDamper damper_{config_.damping};
   double periodic_refresh_ms_ = 0.0;
+  std::uint64_t gr_stale_flushed_ = 0;
+  std::uint64_t gr_resyncs_ = 0;
   bool broadcast_scheduled_ = false;  // an MRAI window is already open
   bool release_check_scheduled_ = false;  // a damping release timer is set
   // Struct-of-arrays FIB keyed by (dst, qos); contiguous iteration is the

@@ -111,7 +111,7 @@ void IdrpNode::schedule_refresh() {
     // Bypass the identical-update suppression: the point of the refresh
     // is to repair a neighbor that missed a triggered update.
     last_sent_hash_.clear();
-    advertise();
+    advertise(MsgClass::kRefresh);
     schedule_refresh();
   });
 }
@@ -240,7 +240,7 @@ std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) noexcept {
 
 }  // namespace
 
-void IdrpNode::advertise() {
+void IdrpNode::advertise(MsgClass cls) {
   // Shared fast path: with previous-hop-agnostic terms, encode_for only
   // depends on the neighbor through sender-side loop suppression, which
   // the receiver re-checks anyway (self-in-path rejection). One generic
@@ -265,7 +265,7 @@ void IdrpNode::advertise() {
       auto [sent, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
       if (!inserted && sent == shared_hash) continue;
       sent = shared_hash;
-      net().send(self(), adj.neighbor, shared);
+      net().send(self(), adj.neighbor, shared, cls);
       continue;
     }
     std::vector<std::uint8_t> update = encode_for(adj.neighbor);
@@ -273,7 +273,7 @@ void IdrpNode::advertise() {
     auto [sent, inserted] = last_sent_hash_.try_emplace(adj.neighbor.v, 0);
     if (!inserted && sent == hash) continue;  // nothing new for them
     sent = hash;
-    net().send(self(), adj.neighbor, std::move(update));
+    net().send(self(), adj.neighbor, std::move(update), cls);
   }
 }
 
@@ -330,6 +330,7 @@ void IdrpNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
     return;
   }
   adj_rib_in_[from.v] = std::move(received);
+  stale_nbrs_.erase(from.v);  // a full-table update IS the GR resync
   reselect_and_maybe_advertise();
 }
 
@@ -380,13 +381,44 @@ void IdrpNode::defend_and_keep(AdId from, IdrpRoute route,
 }
 
 void IdrpNode::on_link_change(AdId neighbor, bool up) {
-  // The session state is void either way: a fresh neighbor must receive
-  // our full table even if it is byte-identical to the last one sent.
-  last_sent_hash_.erase(neighbor.v);
   if (up) {
+    // The session state is void: a fresh neighbor must receive our full
+    // table even if it is byte-identical to the last one sent. With GR
+    // this is the resync toward the restarted neighbor.
+    last_sent_hash_.erase(neighbor.v);
+    if (config_.gr.enabled) ++gr_resyncs_;
     advertise();
     return;
   }
+  if (config_.gr.enabled && net().in_grace(neighbor)) {
+    // Graceful restart: retain the neighbor's Adj-RIB-in and skip the
+    // reselect -- no churn propagates downstream. The neighbor's resync
+    // update (a full table, implicit withdrawal semantics) supersedes
+    // the retained state wholesale; otherwise the flush timer erases it
+    // just past grace expiry.
+    if (adj_rib_in_.find(neighbor.v) &&
+        stale_nbrs_.insert(neighbor.v).second) {
+      schedule_guarded(config_.gr.grace_ms + 0.1,
+                       [this, neighbor] { flush_stale(neighbor); });
+    }
+    return;
+  }
+  last_sent_hash_.erase(neighbor.v);
+  adj_rib_in_.erase(neighbor.v);
+  reselect_and_maybe_advertise();
+}
+
+void IdrpNode::flush_stale(AdId neighbor) {
+  if (net().in_grace(neighbor)) {
+    // The neighbor crashed again and its grace window was extended;
+    // retry after the extension.
+    schedule_guarded(config_.gr.grace_ms + 0.1,
+                     [this, neighbor] { flush_stale(neighbor); });
+    return;
+  }
+  if (stale_nbrs_.erase(neighbor.v) == 0) return;  // resynced in time
+  ++gr_stale_flushed_;
+  last_sent_hash_.erase(neighbor.v);
   adj_rib_in_.erase(neighbor.v);
   reselect_and_maybe_advertise();
 }

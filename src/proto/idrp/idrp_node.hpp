@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "policy/database.hpp"
@@ -93,6 +94,12 @@ struct IdrpConfig {
   // from updates (implicit withdrawal) while local forwarding keeps
   // them, until the penalty decays to the reuse threshold.
   DampingConfig damping;
+  // Graceful restart (off by default): when a neighbor crashes into a
+  // grace window, its Adj-RIB-in is retained (no reselect, so the
+  // identical-update suppression keeps downstream quiet) instead of
+  // erased; a guarded timer erases it at grace expiry unless a fresh
+  // full-table update from the resynced neighbor replaced it first.
+  GrConfig gr;
 };
 
 class IdrpNode : public ProtoNode {
@@ -132,6 +139,14 @@ class IdrpNode : public ProtoNode {
   [[nodiscard]] std::size_t adj_rib_routes() const noexcept;
   [[nodiscard]] std::size_t routes_for(AdId dst) const;
   [[nodiscard]] FlapDamper& damper() noexcept { return damper_; }
+  // GR accounting: neighbor RIBs erased at grace expiry resp. full-table
+  // resyncs advertised toward a recovered neighbor.
+  [[nodiscard]] std::uint64_t gr_stale_flushed() const noexcept {
+    return gr_stale_flushed_;
+  }
+  [[nodiscard]] std::uint64_t gr_resyncs() const noexcept {
+    return gr_resyncs_;
+  }
 
   static constexpr std::uint8_t kMsgUpdate = 1;
 
@@ -142,9 +157,10 @@ class IdrpNode : public ProtoNode {
 
  private:
   void reselect_and_maybe_advertise();
-  void advertise();
+  void advertise(MsgClass cls = MsgClass::kUpdate);
   void trigger_advertise();
   void schedule_refresh();
+  void flush_stale(AdId neighbor);
   void note_dst_flaps();
   void maybe_schedule_release_check();
   // Defense filter for one received route (config_.defend only): checks
@@ -161,6 +177,11 @@ class IdrpNode : public ProtoNode {
   IdrpConfig config_;
   FlapDamper damper_{config_.damping};
   double periodic_refresh_ms_ = 0.0;
+  std::uint64_t gr_stale_flushed_ = 0;
+  std::uint64_t gr_resyncs_ = 0;
+  // Neighbors whose Adj-RIB-in is graceful-restart stale (retained while
+  // the neighbor restarts; awaiting a resync update or the flush timer).
+  std::unordered_set<std::uint32_t> stale_nbrs_;
   // adj-RIB-in: routes as received, per neighbor (dense, insertion
   // ordered: iteration order is a function of the event sequence only).
   DenseMap<std::uint32_t, std::vector<IdrpRoute>> adj_rib_in_;

@@ -14,7 +14,7 @@ void LshhNode::start() {
 void LshhNode::schedule_refresh() {
   if (periodic_refresh_ms_ <= 0.0) return;
   schedule_guarded(periodic_refresh_ms_, [this] {
-    originate_lsa();
+    originate_lsa(MsgClass::kRefresh);
     schedule_refresh();
   });
 }
@@ -28,7 +28,7 @@ void LshhNode::sign_lsa(PolicyLsa& lsa) const {
   }
 }
 
-void LshhNode::originate_lsa() {
+void LshhNode::originate_lsa(MsgClass cls) {
   // Hierarchical mode: stubs are silent; their reachability rides on the
   // attachment listings in their transit neighbors' LSAs.
   if (config_.hierarchical && !is_transit()) return;
@@ -63,7 +63,7 @@ void LshhNode::originate_lsa() {
   }
   sign_lsa(lsa);
   lsdb_.insert(lsa);
-  flood_lsa(lsa, kNoAd);
+  flood_lsa(lsa, kNoAd, cls);
   if (mis == Misbehavior::kFalseOrigin) forge_victim_lsa();
 }
 
@@ -118,23 +118,23 @@ void LshhNode::forge_victim_lsa() {
   flood_lsa(forged, kNoAd);
 }
 
-void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
+void LshhNode::flood_lsa(const PolicyLsa& lsa, AdId except, MsgClass cls) {
   wire::Writer w;
   w.u8(kMsgLsa);
   lsa.encode(w);
   if (!config_.hierarchical) {
-    send_to_neighbors(w.bytes(), except);
+    send_to_neighbors(w.bytes(), except, cls);
     return;
   }
   // Stub-suppressed flooding: stubs keep no database, so the flood only
   // visits the transit subgraph.
   Payload payload;
-  for (const Adjacency& adj : live_neighbors()) {
-    if (adj.neighbor == except) continue;
-    if (!topo().can_transit(adj.neighbor)) continue;
+  for_each_live_neighbor([&](const Adjacency& adj) {
+    if (adj.neighbor == except) return;
+    if (!topo().can_transit(adj.neighbor)) return;
     if (!payload) payload = make_payload(w.bytes());
-    net().send(self(), adj.neighbor, payload);
-  }
+    net().send(self(), adj.neighbor, payload, cls);
+  });
 }
 
 void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
@@ -200,6 +200,27 @@ void LshhNode::on_message(AdId from, std::span<const std::uint8_t> bytes) {
 }
 
 void LshhNode::on_link_change(AdId neighbor, bool up) {
+  // Forwarding choices consult live_neighbors() as well as the database,
+  // and for stubs the database version never moves -- so every adjacency
+  // liveness change must invalidate the cache itself. (During a GR grace
+  // window the recomputation sees the same retained adjacency and lands
+  // on the same answer; the epoch bump only costs one recompute per key.)
+  ++live_epoch_;
+  if (!up && config_.gr.enabled && net().in_grace(neighbor)) {
+    // Graceful restart: the in-grace neighbor still counts as alive
+    // (Node::neighbor_alive), so a re-origination now would change
+    // nothing -- skip it entirely (no seq bump, no flood) and re-examine
+    // just past grace expiry. If the neighbor resynced in time the
+    // re-examination suppresses itself (identical content); if not, it
+    // originates the LSA that finally withdraws the adjacency. A
+    // re-crash during grace lands here again and arms a later timer, so
+    // the early one fires harmlessly inside the extended window.
+    ++gr_retained_;
+    schedule_guarded(config_.gr.grace_ms + 0.1,
+                     [this] { originate_if_changed(); });
+    return;
+  }
+  if (up && config_.gr.enabled) ++gr_resyncs_;
   if (config_.link_holddown_ms > 0.0) {
     if (!holddown_scheduled_) {
       holddown_scheduled_ = true;
@@ -227,7 +248,7 @@ void LshhNode::on_link_change(AdId neighbor, bool up) {
 std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
   const std::uint64_t key = cache_key(flow);
   if (const CacheEntry* e = cache_.find(key)) {
-    if (e->db_version == lsdb_.version()) {
+    if (e->db_version == lsdb_.version() && e->live_epoch == live_epoch_) {
       ++cache_hits_;
       return e->next;
     }
@@ -235,7 +256,7 @@ std::optional<AdId> LshhNode::forward(const FlowSpec& flow) {
   }
   const std::optional<AdId> next =
       config_.hierarchical ? hierarchical_next(flow) : flat_next(flow);
-  cache_[key] = CacheEntry{next, lsdb_.version()};
+  cache_[key] = CacheEntry{next, lsdb_.version(), live_epoch_};
   return next;
 }
 

@@ -53,6 +53,12 @@ struct LshhConfig {
   // keeps a flapping access link from re-flooding the transit core per
   // transition. Periodic refresh bypasses this (it must bump seq).
   double link_holddown_ms = 0.0;
+  // Graceful restart (off by default): a neighbor that crashes into a
+  // grace window stays in live_neighbors() (Node::neighbor_alive treats
+  // in-grace as up), so the adjacency is *retained* -- no re-origination,
+  // no network-wide re-flood -- until either the restarted neighbor's
+  // link-up resync or the guarded post-grace re-examination drops it.
+  GrConfig gr;
 };
 
 class LshhNode : public ProtoNode {
@@ -95,6 +101,14 @@ class LshhNode : public ProtoNode {
   [[nodiscard]] std::uint64_t originations_suppressed() const noexcept {
     return originations_suppressed_;
   }
+  // GR accounting: adjacency retentions entered on a neighbor crash resp.
+  // database resyncs pushed to a recovered neighbor.
+  [[nodiscard]] std::uint64_t gr_retained() const noexcept {
+    return gr_retained_;
+  }
+  [[nodiscard]] std::uint64_t gr_resyncs() const noexcept {
+    return gr_resyncs_;
+  }
 
   static constexpr std::uint8_t kMsgLsa = 1;
 
@@ -102,13 +116,19 @@ class LshhNode : public ProtoNode {
   struct CacheEntry {
     std::optional<AdId> next;
     std::uint64_t db_version = 0;
+    // Adjacency-liveness epoch at computation time. The database version
+    // alone cannot invalidate a stub's cache: stubs keep no database, so
+    // a next hop (or negative result) computed while the parent transit
+    // was dead would otherwise be served forever once it returns.
+    std::uint64_t live_epoch = 0;
   };
 
-  void originate_lsa();
+  void originate_lsa(MsgClass cls = MsgClass::kUpdate);
   void originate_if_changed();
   void forge_victim_lsa();
   void sign_lsa(PolicyLsa& lsa) const;
-  void flood_lsa(const PolicyLsa& lsa, AdId except);
+  void flood_lsa(const PolicyLsa& lsa, AdId except,
+                 MsgClass cls = MsgClass::kUpdate);
   void schedule_refresh();
   [[nodiscard]] bool is_transit() const { return topo().can_transit(self()); }
   // Transit AD a stub rides on: the lowest origin listing it as attached
@@ -131,7 +151,10 @@ class LshhNode : public ProtoNode {
   double periodic_refresh_ms_ = 0.0;
   std::uint32_t my_seq_ = 0;
   bool holddown_scheduled_ = false;  // a hold-down window is already open
+  std::uint64_t live_epoch_ = 0;     // bumped on every on_link_change
   std::uint64_t originations_suppressed_ = 0;
+  std::uint64_t gr_retained_ = 0;
+  std::uint64_t gr_resyncs_ = 0;
   DenseMap<std::uint64_t, CacheEntry> cache_;
   // Lazily rebuilt stub -> owning transit AD index (hierarchical mode).
   DenseMap<std::uint32_t, std::uint32_t> attach_;

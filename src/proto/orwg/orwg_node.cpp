@@ -53,7 +53,7 @@ void OrwgNode::start() {
 void OrwgNode::schedule_refresh() {
   if (config_.periodic_refresh_ms <= 0.0) return;
   schedule_guarded(config_.periodic_refresh_ms, [this] {
-    originate_lsa();
+    originate_lsa(MsgClass::kRefresh);
     schedule_refresh();
   });
 }
@@ -66,7 +66,7 @@ void OrwgNode::sign_lsa(PolicyLsa& lsa) const {
   }
 }
 
-void OrwgNode::originate_lsa() {
+void OrwgNode::originate_lsa(MsgClass cls) {
   // Hierarchical mode: stubs are silent; their reachability rides on the
   // attachment listings in their transit neighbors' LSAs.
   if (config_.hierarchical && !is_transit()) return;
@@ -93,7 +93,7 @@ void OrwgNode::originate_lsa() {
   }
   sign_lsa(lsa);
   lsdb_.insert(lsa);
-  flood_lsa(lsa, kNoAd);
+  flood_lsa(lsa, kNoAd, cls);
   if (mis == Misbehavior::kFalseOrigin) forge_victim_lsa();
 }
 
@@ -182,24 +182,24 @@ void OrwgNode::accept_lsa(PolicyLsa lsa, AdId from) {
   if (lsdb_.insert(lsa)) flood_lsa(lsa, from);
 }
 
-void OrwgNode::flood_lsa(const PolicyLsa& lsa, AdId except) {
+void OrwgNode::flood_lsa(const PolicyLsa& lsa, AdId except, MsgClass cls) {
   if (config_.lsa_batch_ms <= 0.0) {
     wire::Writer w;
     w.u8(kMsgLsa);
     lsa.encode(w);
     if (!config_.hierarchical) {
-      send_to_neighbors(w.bytes(), except);
+      send_to_neighbors(w.bytes(), except, cls);
       return;
     }
     // Stub-suppressed flooding: the flood only visits the transit
     // subgraph (stubs keep no database).
     Payload payload;
-    for (const Adjacency& adj : live_neighbors()) {
-      if (adj.neighbor == except) continue;
-      if (!topo().can_transit(adj.neighbor)) continue;
+    for_each_live_neighbor([&](const Adjacency& adj) {
+      if (adj.neighbor == except) return;
+      if (!topo().can_transit(adj.neighbor)) return;
       if (!payload) payload = make_payload(w.bytes());
-      net().send(self(), adj.neighbor, payload);
-    }
+      net().send(self(), adj.neighbor, payload, cls);
+    });
     return;
   }
   pending_floods_.emplace_back(lsa, except);
@@ -233,6 +233,18 @@ void OrwgNode::flush_pending_floods() {
 }
 
 void OrwgNode::on_link_change(AdId neighbor, bool up) {
+  if (!up && config_.gr.enabled && net().in_grace(neighbor)) {
+    // Graceful restart: the in-grace neighbor still counts as alive, so
+    // re-originating now would change nothing -- skip it (database and
+    // route-server cache stay frozen) and re-examine just past grace
+    // expiry. A resync-in-time makes the re-examination a no-op; a
+    // re-crash arms a later timer covering the extended window.
+    ++gr_retained_;
+    schedule_guarded(config_.gr.grace_ms + 0.1,
+                     [this] { originate_if_changed(); });
+    return;
+  }
+  if (up && config_.gr.enabled) ++gr_resyncs_;
   if (config_.link_holddown_ms > 0.0) {
     if (!holddown_scheduled_) {
       holddown_scheduled_ = true;
@@ -260,11 +272,18 @@ void OrwgNode::on_link_change(AdId neighbor, bool up) {
 
 // --- Policy Route establishment ---------------------------------------------
 
+void OrwgNode::note_gr_cache_hit(bool from_cache) {
+  if (from_cache && config_.gr.enabled && net().in_grace_count() > 0) {
+    ++gr_memoized_;
+  }
+}
+
 bool OrwgNode::establish_pr(const FlowSpec& flow, PendingPr pending) {
   std::optional<std::vector<AdId>> route_path;
   if (config_.hierarchical) {
     route_path = policy_route(flow);
   } else if (const auto route = route_server_->route(flow)) {
+    note_gr_cache_hit(route->from_cache);
     route_path = route->path;
   }
   if (!route_path || route_path->size() < 2) {
@@ -381,12 +400,16 @@ std::optional<std::vector<AdId>> OrwgNode::policy_route(
       }
     }
     if (!parent) return std::nullopt;
-    auto* p = static_cast<OrwgNode*>(net().node(*parent));
+    // forwarding_node: during the parent's grace window the query is
+    // answered by its frozen pre-crash instance -- the route server
+    // serving memoized synthesis from the stale snapshot.
+    auto* p = static_cast<OrwgNode*>(net().forwarding_node(*parent));
     if (!p) return std::nullopt;
     return p->hierarchical_route(flow);
   }
   const auto route = route_server_->route(flow);
   if (!route) return std::nullopt;
+  note_gr_cache_hit(route->from_cache);
   return route->path;
 }
 
@@ -426,6 +449,7 @@ std::optional<std::vector<AdId>> OrwgNode::hierarchical_route(
   synth.dst = owner_dst;
   const auto route = route_server_->route(synth);
   if (!route) return std::nullopt;
+  note_gr_cache_hit(route->from_cache);
   if (flow.src != owner_src) path.push_back(flow.src);
   path.insert(path.end(), route->path.begin(), route->path.end());
   if (flow.dst != owner_dst) path.push_back(flow.dst);
@@ -726,6 +750,17 @@ void OrwgNode::handle_data(AdId from, wire::Reader& r) {
       gateway_->lookup(handle, from, claimed_src, payload_len);
   if (!state) {
     ++data_drops_;
+    // Unknown handle: this AD holds no state for the PR -- typically
+    // because a restart wiped its gateway table while upstream ADs (and
+    // the source) still believe the PR is established. Silence here
+    // would strand the source retransmitting into a black hole, so
+    // report the broken PR back the way the data came; each upstream
+    // hop unwinds its own state and the source re-establishes. kNoAd as
+    // dead_next tells the source no link actually died -- plain
+    // resynthesis, no route_avoiding exclusion.
+    if (from.valid()) {
+      send_error(handle, from, self(), kNoAd);
+    }
     return;
   }
   if (!state->next.valid()) {

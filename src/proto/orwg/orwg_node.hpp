@@ -65,6 +65,12 @@ struct OrwgConfig {
   // and back) re-floods nothing at all. Periodic refresh bypasses this
   // (it must bump seq).
   double link_holddown_ms = 0.0;
+  // Graceful restart (off by default): a neighbor crashing into a grace
+  // window keeps its adjacency (no re-origination -- the database, and
+  // with it the route server's db_version-keyed cache, stays frozen, so
+  // Policy Routes are served memoized from the stale snapshot) until the
+  // restarted neighbor's link-up resync or the post-grace re-examination.
+  GrConfig gr;
 };
 
 class OrwgNode : public ProtoNode {
@@ -156,7 +162,7 @@ class OrwgNode : public ProtoNode {
     std::uint32_t retries = 0;
   };
 
-  void originate_lsa();
+  void originate_lsa(MsgClass cls = MsgClass::kUpdate);
   void originate_if_changed();
   // Hierarchical helpers: owning transit AD of a (possibly stub) AD, the
   // stub's deterministic parent, and the end-to-end AD path composed from
@@ -167,7 +173,8 @@ class OrwgNode : public ProtoNode {
       const FlowSpec& flow);
   void forge_victim_lsa();
   void sign_lsa(PolicyLsa& lsa) const;
-  void flood_lsa(const PolicyLsa& lsa, AdId except);
+  void flood_lsa(const PolicyLsa& lsa, AdId except,
+                 MsgClass cls = MsgClass::kUpdate);
   void schedule_refresh();
   void flush_pending_floods();
   bool establish_pr(const FlowSpec& flow, PendingPr pending);
@@ -232,13 +239,33 @@ class OrwgNode : public ProtoNode {
   [[nodiscard]] std::uint64_t originations_suppressed() const noexcept {
     return originations_suppressed_;
   }
+  // GR accounting: adjacency retentions entered on a neighbor crash,
+  // database resyncs pushed to a recovered neighbor, and Policy Routes
+  // served from the route server's memoized (db_version-frozen) cache
+  // while at least one neighbor was inside a grace window.
+  [[nodiscard]] std::uint64_t gr_retained() const noexcept {
+    return gr_retained_;
+  }
+  [[nodiscard]] std::uint64_t gr_resyncs() const noexcept {
+    return gr_resyncs_;
+  }
+  [[nodiscard]] std::uint64_t gr_memoized() const noexcept {
+    return gr_memoized_;
+  }
 
  private:
   // Verify + insert + (on acceptance) re-flood one received LSA.
   void accept_lsa(PolicyLsa lsa, AdId from);
+  // Counts a route-server answer served from cache during a grace window
+  // (the "memoized synthesis from the stale snapshot" the GR design
+  // promises for the source-routing family).
+  void note_gr_cache_hit(bool from_cache);
 
   std::uint64_t pr_repairs_ = 0;  // errors healed by immediate resynthesis
   std::uint64_t lsas_rejected_auth_ = 0;
+  std::uint64_t gr_retained_ = 0;
+  std::uint64_t gr_resyncs_ = 0;
+  std::uint64_t gr_memoized_ = 0;
   // Lazily rebuilt stub -> owning transit AD index (hierarchical mode).
   DenseMap<std::uint32_t, std::uint32_t> attach_;
   std::uint64_t attach_version_ = ~0ull;

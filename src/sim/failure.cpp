@@ -39,6 +39,16 @@ void FailureInjector::flap_link(LinkId link, SimTime onset_ms,
   }
 }
 
+void FailureInjector::restart_storm(AdId ad, SimTime onset_ms,
+                                    SimTime period_ms, double duty,
+                                    std::uint32_t cycles) {
+  if (cycles == 0 || period_ms <= 0.0) return;
+  const SimTime down_ms = period_ms * std::clamp(duty, 0.01, 0.99);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    crash_node_at(ad, onset_ms + c * period_ms, down_ms);
+  }
+}
+
 void FailureInjector::fail_node_links_at(AdId ad, SimTime at_ms,
                                          SimTime duration_ms) {
   for (const Adjacency& adj : net_.topo().neighbors(ad)) {

@@ -33,6 +33,13 @@ class FailureInjector {
   void flap_link(LinkId link, SimTime onset_ms, SimTime period_ms,
                  double duty, std::uint32_t cycles);
 
+  // Scripted restart storm: `ad` crash/restarts for `cycles` full cycles
+  // starting at onset_ms -- down for duty * period_ms, back up (cold
+  // restart) for the remainder. The node ends each cycle alive. Counts
+  // one crash per cycle.
+  void restart_storm(AdId ad, SimTime onset_ms, SimTime period_ms,
+                     double duty, std::uint32_t cycles);
+
   // Scripted: fail every link of `ad` at `at_ms` and restore them
   // `duration_ms` later -- a node outage modeled as its interfaces going
   // dark, which (unlike crash()) neighbors can observe through the

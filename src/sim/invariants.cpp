@@ -87,7 +87,9 @@ bool InvariantMonitor::default_reachable(AdId src, AdId dst) const {
     q.pop();
     if (cur == dst) return true;
     for (const Adjacency& adj : topo.live_neighbors(cur)) {
-      if (seen[adj.neighbor.v] || !net_.alive(adj.neighbor)) continue;
+      // An AD inside its graceful-restart grace window still forwards
+      // (frozen FIB), so ground truth keeps routing through it.
+      if (seen[adj.neighbor.v] || !net_.usable(adj.neighbor)) continue;
       seen[adj.neighbor.v] = true;
       q.push(adj.neighbor);
     }
@@ -97,11 +99,13 @@ bool InvariantMonitor::default_reachable(AdId src, AdId dst) const {
 
 bool InvariantMonitor::path_is_fresh(const std::vector<AdId>& path) const {
   // A delivered path is fresh only if every hop crosses a live link and
-  // every AD on it is alive; otherwise the FIB entries that produced it
-  // are stale (pointing at dead infrastructure).
+  // every AD on it is alive (or gracefully restarting: an in-grace AD's
+  // frozen FIB is sanctioned forwarding state, not a stale lie);
+  // otherwise the FIB entries that produced it are stale (pointing at
+  // dead infrastructure).
   const Topology& topo = net_.topo();
   for (const AdId ad : path) {
-    if (!net_.alive(ad)) return false;
+    if (!net_.usable(ad)) return false;
   }
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     const auto link = topo.find_link(path[i], path[i + 1]);
@@ -110,12 +114,42 @@ bool InvariantMonitor::path_is_fresh(const std::vector<AdId>& path) const {
   return true;
 }
 
+bool InvariantMonitor::continuity_reachable(AdId src, AdId dst) const {
+  // The GR promise as a reachability oracle: would this pair be
+  // connected if every crashed AD still forwarded from its pre-crash
+  // FIB? BFS over up links, ignoring transit aliveness entirely (but
+  // endpoints must be alive -- nobody originates or terminates traffic
+  // while down). Cold-restart runs are measured against the same oracle,
+  // which is exactly how they show the continuity gap.
+  if (!net_.alive(src) || !net_.alive(dst)) return false;
+  const Topology& topo = net_.topo();
+  std::vector<bool> seen(topo.ad_count(), false);
+  std::queue<AdId> q;
+  q.push(src);
+  seen[src.v] = true;
+  while (!q.empty()) {
+    const AdId cur = q.front();
+    q.pop();
+    if (cur == dst) return true;
+    for (const Adjacency& adj : topo.live_neighbors(cur)) {
+      if (seen[adj.neighbor.v] || net_.is_quarantined(adj.neighbor)) continue;
+      seen[adj.neighbor.v] = true;
+      q.push(adj.neighbor);
+    }
+  }
+  return false;
+}
+
 void InvariantMonitor::sweep() {
   const Topology& topo = net_.topo();
   const std::size_t n = topo.ad_count();
   ++stats_.sweeps;
   const SimTime now = net_.engine().now();
   const bool settled = last_fault_at_ < 0.0 || now > settle_deadline_;
+  // Forwarding-continuity accounting is live whenever some AD is crashed
+  // or riding out a grace window (down_count covers cold restarts, which
+  // never enter grace).
+  const bool node_churn = net_.down_count() > 0 || net_.in_grace_count() > 0;
 
   std::uint64_t violations = 0;
   std::uint64_t probes_this_sweep = 0;
@@ -158,6 +192,13 @@ void InvariantMonitor::sweep() {
     const Probe probe = probe_(src, dst);
     const bool reachable =
         reachable_ ? reachable_(src, dst) : default_reachable(src, dst);
+    if (node_churn && continuity_reachable(src, dst)) {
+      ++stats_.continuity_probes;
+      if (probe.outcome == ProbeOutcome::kDelivered &&
+          path_is_fresh(probe.path)) {
+        ++stats_.continuity_ok;
+      }
+    }
     switch (probe.outcome) {
       case ProbeOutcome::kLooped:
         ++violations;

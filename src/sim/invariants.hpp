@@ -123,6 +123,23 @@ struct InvariantStats {
   // Indexed by the class id returned by register_fault_class(); entry 0
   // is the default class.
   std::vector<FaultClassStats> fault_classes;
+  // Forwarding continuity through node churn: while any AD is crashed or
+  // in a graceful-restart grace window, every probe whose pair would be
+  // connected if crashed ADs still forwarded (the GR promise) counts
+  // here; it is "ok" when it actually delivered over a fresh-or-in-grace
+  // path. Cold restarts black-hole these probes, GR keeps them flowing
+  // over the frozen FIB -- the ratio is the paper-scale continuity
+  // number BENCH_restart.json tracks. Both zero when no node churn
+  // happened (or when probing never overlapped it).
+  std::uint64_t continuity_probes = 0;
+  std::uint64_t continuity_ok = 0;
+
+  [[nodiscard]] double continuity() const noexcept {
+    return continuity_probes == 0
+               ? 1.0
+               : static_cast<double>(continuity_ok) /
+                     static_cast<double>(continuity_probes);
+  }
 
   [[nodiscard]] std::uint64_t persistent_violations() const noexcept {
     return persistent_loops + persistent_black_holes +
@@ -192,6 +209,7 @@ class InvariantMonitor {
  private:
   [[nodiscard]] bool default_reachable(AdId src, AdId dst) const;
   [[nodiscard]] bool path_is_fresh(const std::vector<AdId>& path) const;
+  [[nodiscard]] bool continuity_reachable(AdId src, AdId dst) const;
   void schedule_next();
 
   Network& net_;

@@ -19,10 +19,14 @@ const Payload& keepalive_payload() {
 }  // namespace
 
 void Node::deliver(AdId from, std::uint32_t slot,
-                   std::span<const std::uint8_t> bytes) {
+                   std::span<const std::uint8_t> bytes, SimTime heard_at) {
   // Any frame heard from a neighbor -- keepalive, protocol PDU, even a
-  // mangled one -- proves the neighbor is up and refreshes its hold timer.
-  if (keepalive_enabled_) note_heard(from, slot);
+  // mangled one -- proves the neighbor was up when the frame arrived and
+  // refreshes its hold timer from that arrival time (which trails "now"
+  // only when the frame sat in an overload queue).
+  if (keepalive_enabled_) {
+    note_heard(from, slot, heard_at < 0.0 ? net_->engine().now() : heard_at);
+  }
   if (bytes.size() == 1 && bytes[0] == kKeepaliveType) return;
   on_message(from, bytes);
 }
@@ -48,6 +52,14 @@ bool Node::neighbor_alive(AdId neighbor) const {
   // the hold timer last concluded (its frames are blocked, so the timer
   // will agree shortly anyway).
   if (net_ && net_->is_quarantined(neighbor)) return false;
+  // With the crash oracle on, a crashed neighbor is dead the moment it
+  // crashes -- unless it is gracefully restarting, in which case the
+  // whole point is that neighbors keep treating it as up for the grace
+  // window (LS adjacencies retained, DV routes kept stale-but-usable).
+  if (net_ && net_->crash_notifications() && !net_->alive(neighbor) &&
+      !net_->in_grace(neighbor)) {
+    return false;
+  }
   if (!keepalive_enabled_) return true;
   const auto link = net_->topo().find_link(self_, neighbor);
   if (!link) return true;
@@ -64,21 +76,36 @@ void Node::keepalive_tick() {
     const Adjacency& adj = nbrs[slot];
     NeighborLiveness& nl = liveness_[slot];
     if (nl.alive) {
-      net_->send(self_, adj.neighbor, keepalive_payload());
+      net_->send(self_, adj.neighbor, keepalive_payload(),
+                 MsgClass::kKeepalive);
       if (now - nl.last_heard > hold_ms) {
         // Hold timer expired: the neighbor crashed or the link silently
         // died. Declare it down and fall back to backed-off probing.
         nl.alive = false;
         nl.probe_interval_ms = keepalive_.interval_ms;
         nl.next_probe_at = now + nl.probe_interval_ms;
+        nl.declared_dead_at = now;
         on_link_change(adj.neighbor, false);
       }
     } else if (now >= nl.next_probe_at) {
-      net_->send(self_, adj.neighbor, keepalive_payload());
+      net_->send(self_, adj.neighbor, keepalive_payload(),
+                 MsgClass::kKeepalive);
       nl.probe_interval_ms = std::min(
           nl.probe_interval_ms * keepalive_.backoff_factor,
           static_cast<double>(keepalive_.max_probe_interval_ms));
-      nl.next_probe_at = now + nl.probe_interval_ms;
+      SimTime spacing = nl.probe_interval_ms;
+      if (keepalive_.probe_jitter > 0.0) {
+        // Deterministic per-(AD, slot) phase: spreads the re-establishment
+        // probes of a dead AD's many neighbors so its recovery is not met
+        // by one synchronized retry storm.
+        std::uint64_t h = (static_cast<std::uint64_t>(self_.v) << 20) ^
+                          (static_cast<std::uint64_t>(slot) + 1);
+        h *= 0x9E3779B97F4A7C15ull;
+        const double frac =
+            static_cast<double>((h >> 40) & 0xFFFFFFu) / 16777216.0;
+        spacing *= 1.0 + keepalive_.probe_jitter * frac;
+      }
+      nl.next_probe_at = now + spacing;
     }
   }
   schedule_keepalive_tick(keepalive_.interval_ms);
@@ -102,12 +129,20 @@ void Node::schedule_keepalive_tick(SimTime delay_ms) {
   schedule_guarded(delay_ms, [this] { keepalive_tick(); });
 }
 
-void Node::note_heard(AdId from, std::uint32_t slot) {
+void Node::note_heard(AdId from, std::uint32_t slot, SimTime heard_at) {
   if (net_ && net_->is_quarantined(from)) return;  // no revival while isolated
   if (slot >= liveness_.size()) return;
   NeighborLiveness& nl = liveness_[slot];
-  nl.last_heard = net_->engine().now();
+  // Monotone refresh: a frame serviced late out of an overload queue
+  // carries its (older) arrival time and must never rewind the hold
+  // timer past evidence already accounted for.
+  nl.last_heard = std::max(nl.last_heard, heard_at);
   if (!nl.alive) {
+    // Revival needs evidence from at or after the death declaration. A
+    // queued frame that arrived before the hold timer expired is exactly
+    // the stale timestamp that must not vouch for a neighbor which has
+    // since revived and re-expired (or never came back at all).
+    if (heard_at < nl.declared_dead_at) return;
     nl.alive = true;
     nl.probe_interval_ms = keepalive_.interval_ms;
     on_link_change(from, true);
@@ -115,6 +150,16 @@ void Node::note_heard(AdId from, std::uint32_t slot) {
 }
 
 // --- Network ---------------------------------------------------------
+
+const char* to_string(MsgClass c) noexcept {
+  switch (c) {
+    case MsgClass::kKeepalive: return "keepalive";
+    case MsgClass::kWithdrawal: return "withdrawal";
+    case MsgClass::kUpdate: return "update";
+    case MsgClass::kRefresh: return "refresh";
+  }
+  return "?";
+}
 
 const char* to_string(Misbehavior m) noexcept {
   switch (m) {
@@ -134,6 +179,8 @@ Network::Network(Engine& engine, Topology& topo)
   counters_.resize(topo.ad_count());
   byz_by_ad_.resize(topo.ad_count());
   quarantined_.resize(topo.ad_count(), 0);
+  frozen_.resize(topo.ad_count());
+  grace_deadline_.resize(topo.ad_count(), 0.0);
 }
 
 // --- Byzantine / misconfigured ADs -----------------------------------
@@ -228,10 +275,73 @@ std::uint64_t Network::generation(AdId ad) const {
 void Network::crash(AdId ad) {
   IDR_CHECK(ad.v < nodes_.size());
   if (!nodes_[ad.v]) return;  // already down
-  nodes_[ad.v].reset();       // all soft state gone
-  ++generations_[ad.v];       // orphan its pending timers
+  if (gr_.enabled) {
+    // Graceful restart: the control plane dies but the forwarding state
+    // survives as a frozen zombie for one grace window. On a re-crash
+    // within grace the original (fully converged) zombie is kept -- the
+    // re-crashed node's half-resynced FIB would be a worse snapshot --
+    // and the deadline is pushed out.
+    if (!frozen_[ad.v]) {
+      frozen_[ad.v] = std::move(nodes_[ad.v]);
+      ++in_grace_count_;
+    }
+    const SimTime deadline = engine_.now() + gr_.grace_ms;
+    grace_deadline_[ad.v] = deadline;
+    engine_.after(gr_.grace_ms, [this, ad, deadline] {
+      // A later crash extends the window; only the newest deadline acts.
+      if (!frozen_[ad.v] || grace_deadline_[ad.v] != deadline) return;
+      end_grace(ad);
+    });
+  }
+  nodes_[ad.v].reset();  // all soft state gone
+  ++generations_[ad.v];  // orphan its pending timers
   ++crashes_;
+  ++down_count_;
+  if (overload_.enabled() && ad.v < ingress_.size()) {
+    // A crash loses the ingress queue along with everything else.
+    IngressQueue& iq = ingress_[ad.v];
+    for (auto& q : iq.cls) {
+      overload_stats_.cleared_on_crash += q.size();
+      q.clear();
+    }
+    iq.depth = 0;
+  }
+  if (crash_notifications_) {
+    for (const Adjacency& adj : topo_.neighbors(ad)) {
+      if (topo_.link(adj.link).up && nodes_[adj.neighbor.v]) {
+        nodes_[adj.neighbor.v]->on_link_change(ad, false);
+      }
+    }
+  }
   if (churn_observer_) churn_observer_(ChurnKind::kNode);
+}
+
+void Network::end_grace(AdId ad) {
+  // Grace over: drop the frozen forwarding state. If the control plane
+  // restarted in time this is the hitless handover to its resynced FIB;
+  // if not, it is the stale flush -- the AD now looks hard-down to
+  // everyone (neighbor_alive stops vouching for it, probes stop
+  // resolving its zombie), which is itself a forwarding change worth a
+  // churn event.
+  frozen_[ad.v].reset();
+  --in_grace_count_;
+  if (nodes_[ad.v]) {
+    ++gr_recoveries_;
+  } else {
+    ++gr_flushes_;
+  }
+  if (churn_observer_) churn_observer_(ChurnKind::kNode);
+}
+
+bool Network::in_grace(AdId ad) const {
+  IDR_CHECK(ad.v < frozen_.size());
+  return frozen_[ad.v] != nullptr;
+}
+
+Node* Network::forwarding_node(AdId ad) {
+  IDR_CHECK(ad.v < nodes_.size());
+  if (frozen_[ad.v]) return frozen_[ad.v].get();
+  return nodes_[ad.v].get();
 }
 
 void Network::restart(AdId ad) {
@@ -248,6 +358,17 @@ void Network::restart(AdId ad) {
     nodes_[ad.v]->enable_keepalive(default_keepalive_);
   }
   nodes_[ad.v]->start();  // cold start: the protocol rebuilds from scratch
+  if (down_count_ > 0) --down_count_;
+  if (crash_notifications_) {
+    // The recovery signal: neighbors resync the restarted control plane
+    // (targeted refresh / LSDB sync), which under GR is the incremental
+    // path back to a fresh FIB before the grace deadline hands over.
+    for (const Adjacency& adj : topo_.neighbors(ad)) {
+      if (topo_.link(adj.link).up && nodes_[adj.neighbor.v]) {
+        nodes_[adj.neighbor.v]->on_link_change(ad, true);
+      }
+    }
+  }
   if (churn_observer_) churn_observer_(ChurnKind::kNode);
 }
 
@@ -275,7 +396,7 @@ void Network::note_malformed(AdId ad) {
   total_.malformed_dropped += 1;
 }
 
-bool Network::send(AdId from, AdId to, Payload bytes) {
+bool Network::send(AdId from, AdId to, Payload bytes, MsgClass cls) {
   Counters& c = counters_[from.v];
   c.msgs_sent += 1;
   c.bytes_sent += bytes->size();
@@ -329,14 +450,14 @@ bool Network::send(AdId from, AdId to, Payload bytes) {
       counters_[to.v].msgs_corrupted += 1;
       total_.msgs_corrupted += 1;
     }
-    deliver_frame(from, to, *link, std::move(payload), delay, corrupted);
+    deliver_frame(from, to, *link, std::move(payload), delay, corrupted, cls);
   }
   return true;
 }
 
 void Network::deliver_frame(AdId from, AdId to, LinkId link, Payload bytes,
-                            double delay_ms, bool corrupted) {
-  engine_.after(delay_ms, [this, from, to, link, corrupted,
+                            double delay_ms, bool corrupted, MsgClass cls) {
+  engine_.after(delay_ms, [this, from, to, link, corrupted, cls,
                            payload = std::move(bytes)]() {
     // Link may have gone down while the message was in flight.
     if (!topo_.link(link).up) {
@@ -373,11 +494,104 @@ void Network::deliver_frame(AdId from, AdId to, LinkId link, Payload bytes,
       total_.msgs_dropped += 1;
       return;
     }
+    if (overload_.enabled()) {
+      enqueue_ingress(from, to, link, payload, cls);
+      return;
+    }
     counters_[to.v].msgs_delivered += 1;
     total_.msgs_delivered += 1;
     last_delivery_ = engine_.now();
     n->deliver(from, topo_.adjacency_slot(link, to), *payload);
   });
+}
+
+void Network::set_overload(const OverloadConfig& config) {
+  overload_ = config;
+  if (overload_.service_batch == 0) overload_.service_batch = 1;
+  if (overload_.service_interval_ms <= 0.0) overload_.service_interval_ms = 1.0;
+  if (overload_.enabled() && ingress_.size() < nodes_.size()) {
+    ingress_.resize(nodes_.size());
+  }
+}
+
+void Network::enqueue_ingress(AdId from, AdId to, LinkId link, Payload payload,
+                              MsgClass cls) {
+  IngressQueue& iq = ingress_[to.v];
+  const std::size_t c = static_cast<std::size_t>(cls);
+  if (iq.depth >= overload_.queue_limit) {
+    // Bounded queue full: shed deterministically from the low-priority
+    // tail. If anything strictly less important than the arrival is
+    // queued, evict the newest such frame to make room; otherwise the
+    // arrival itself is the least important thing in sight and is shed.
+    std::size_t victim = kMsgClassCount;
+    for (std::size_t v = kMsgClassCount; v-- > c + 1;) {
+      if (!iq.cls[v].empty()) {
+        victim = v;
+        break;
+      }
+    }
+    if (victim == kMsgClassCount) {
+      ++overload_stats_.dropped[c];
+      counters_[from.v].msgs_dropped += 1;
+      total_.msgs_dropped += 1;
+      return;
+    }
+    counters_[iq.cls[victim].back().from.v].msgs_dropped += 1;
+    total_.msgs_dropped += 1;
+    iq.cls[victim].pop_back();
+    --iq.depth;
+    ++overload_stats_.dropped[victim];
+  }
+  iq.cls[c].push_back(QueuedFrame{from, link, std::move(payload),
+                                  engine_.now()});
+  ++iq.depth;
+  ++overload_stats_.enqueued;
+  if (iq.depth > overload_stats_.peak_depth) {
+    overload_stats_.peak_depth = iq.depth;
+  }
+  if (!iq.service_scheduled) {
+    iq.service_scheduled = true;
+    engine_.after(overload_.service_interval_ms,
+                  [this, to] { service_ingress(to); });
+  }
+}
+
+void Network::service_ingress(AdId to) {
+  IngressQueue& iq = ingress_[to.v];
+  iq.service_scheduled = false;
+  std::size_t budget = overload_.service_batch;
+  for (std::size_t c = 0; c < kMsgClassCount && budget > 0; ++c) {
+    while (budget > 0 && !iq.cls[c].empty()) {
+      QueuedFrame f = std::move(iq.cls[c].front());
+      iq.cls[c].pop_front();
+      --iq.depth;
+      --budget;
+      ++overload_stats_.served;
+      Node* n = nodes_[to.v].get();
+      if (!n) {
+        // Crash and service collided at one timestamp; the queue is
+        // normally cleared by crash() before this can run.
+        ++overload_stats_.cleared_on_crash;
+        continue;
+      }
+      if (quarantined_[f.from.v]) {
+        // Sender was quarantined while the frame sat queued.
+        counters_[f.from.v].msgs_dropped += 1;
+        total_.msgs_dropped += 1;
+        continue;
+      }
+      counters_[to.v].msgs_delivered += 1;
+      total_.msgs_delivered += 1;
+      last_delivery_ = engine_.now();
+      n->deliver(f.from, topo_.adjacency_slot(f.link, to), *f.payload,
+                 f.arrival_ms);
+    }
+  }
+  if (iq.depth > 0 && !iq.service_scheduled) {
+    iq.service_scheduled = true;
+    engine_.after(overload_.service_interval_ms,
+                  [this, to] { service_ingress(to); });
+  }
 }
 
 void Network::set_faults(const FaultConfig& faults,

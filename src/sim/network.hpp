@@ -18,7 +18,9 @@
 //     disabled entirely with set_link_notifications(false)).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <span>
@@ -96,6 +98,63 @@ struct FaultConfig {
   }
 };
 
+// --- control-plane message classes + overload protection -------------
+// Every frame carries a class; with overload protection enabled
+// (OverloadConfig::queue_limit > 0) the receiving AD runs a bounded
+// ingress queue serviced in strict priority order -- keepalives before
+// withdrawals before updates before refreshes -- so under a restart
+// storm session liveness and bad news survive while deferrable refresh
+// traffic is shed. Tail-drop is deterministic: a full queue evicts the
+// newest frame of the lowest-priority occupied class below the arrival
+// (or the arrival itself when nothing less important is queued).
+enum class MsgClass : std::uint8_t {
+  kKeepalive = 0,   // session liveness: never starved
+  kWithdrawal = 1,  // bad news: fast loop / black-hole repair
+  kUpdate = 2,      // ordinary reachability updates
+  kRefresh = 3,     // periodic full-state refresh: most deferrable
+};
+inline constexpr std::size_t kMsgClassCount = 4;
+[[nodiscard]] const char* to_string(MsgClass c) noexcept;
+
+struct OverloadConfig {
+  // Max frames queued per receiving AD across all classes. 0 disables
+  // overload protection entirely: frames dispatch at arrival, the
+  // pre-existing (byte-identical) behavior.
+  std::size_t queue_limit = 0;
+  std::size_t service_batch = 16;  // frames dispatched per service event
+  SimTime service_interval_ms = 1.0;
+
+  [[nodiscard]] bool enabled() const noexcept { return queue_limit > 0; }
+};
+
+struct OverloadStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dropped[kMsgClassCount] = {0, 0, 0, 0};  // by victim class
+  std::size_t peak_depth = 0;       // high-water mark of any one AD's queue
+  std::uint64_t cleared_on_crash = 0;
+
+  [[nodiscard]] std::uint64_t dropped_total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < kMsgClassCount; ++c) sum += dropped[c];
+    return sum;
+  }
+};
+
+// --- graceful restart ------------------------------------------------
+// With GR enabled a crash no longer hard-drops the AD: its pre-crash
+// node survives as a frozen data-plane zombie for one grace window
+// (forwarding_node() keeps resolving to it, so traffic keeps flowing
+// over the stale FIB), while neighbors that learn of the crash retain
+// the dead AD's routes as stale instead of withdrawing. If the control
+// plane restarts within grace, the deadline event is a hitless handover
+// to the resynced node; if not, it is the flush -- the zombie is
+// destroyed and the AD finally looks hard-down to everyone.
+struct GrConfig {
+  bool enabled = false;
+  SimTime grace_ms = 2000.0;
+};
+
 // Keepalive/hold-timer neighbor liveness (interval 0 disables). A node
 // with keepalive enabled sends a one-byte keepalive to each neighbor
 // every interval; any frame heard from a neighbor refreshes its hold
@@ -108,6 +167,12 @@ struct KeepaliveConfig {
   std::uint32_t miss_threshold = 3;
   double backoff_factor = 2.0;
   SimTime max_probe_interval_ms = 0.0;  // 0 => 8 * interval_ms
+  // Deterministic per-(AD, slot) stretch applied to the backed-off probe
+  // spacing, as a fraction of the spacing (0.25 => up to +25%). Without
+  // it every neighbor of a flapping AD probes in lockstep and the
+  // re-establishment attempts arrive as one synchronized retry storm.
+  // 0 keeps probe schedules byte-identical to the unjittered behavior.
+  double probe_jitter = 0.0;
 };
 
 // A protocol entity running inside one AD (the paper's Route Server /
@@ -138,8 +203,12 @@ class Node {
   // sender's liveness, consumes keepalive frames, dispatches the rest to
   // on_message. `slot` is the sender's position in this node's adjacency
   // list (Topology::adjacency_slot), so liveness lookup is an array index.
+  // `heard_at` is the frame's interface arrival time (< 0 = "now"): with
+  // overload protection a frame can be serviced long after it arrived,
+  // and liveness must be refreshed from arrival, not service, or a
+  // queued stale frame would vouch for a neighbor that has since died.
   void deliver(AdId from, std::uint32_t slot,
-               std::span<const std::uint8_t> bytes);
+               std::span<const std::uint8_t> bytes, SimTime heard_at = -1.0);
 
   // Turn on keepalive/hold-timer liveness for this node (callable any
   // time after attach). Chosen well clear of every protocol's small
@@ -147,7 +216,10 @@ class Node {
   static constexpr std::uint8_t kKeepaliveType = 0xF0;
   void enable_keepalive(const KeepaliveConfig& config);
 
-  // False only when keepalive has declared this neighbor dead.
+  // False when keepalive has declared this neighbor dead, and -- with the
+  // network's crash-notification oracle enabled -- when the neighbor's
+  // node is crashed and out of grace (during a grace window a gracefully
+  // restarting neighbor still counts as alive: that is the retention).
   [[nodiscard]] bool neighbor_alive(AdId neighbor) const;
 
  protected:
@@ -168,11 +240,14 @@ class Node {
     bool alive = true;
     SimTime probe_interval_ms = 0.0;  // current (backed-off) probe spacing
     SimTime next_probe_at = 0.0;
+    // When the hold timer last declared this neighbor dead; revival
+    // requires a frame heard at or after this instant.
+    SimTime declared_dead_at = -1.0;
   };
 
   void keepalive_tick();
   void schedule_keepalive_tick(SimTime delay_ms);
-  void note_heard(AdId from, std::uint32_t slot);
+  void note_heard(AdId from, std::uint32_t slot, SimTime heard_at);
 
   KeepaliveConfig keepalive_;
   bool keepalive_enabled_ = false;
@@ -193,13 +268,29 @@ class Network {
 
   // Send encoded bytes from `from` to adjacent `to`. Returns false (and
   // counts a drop) if there is no live link. Delivery is delayed by the
-  // link's delay plus per-message transmission time.
-  bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes) {
-    return send(from, to, make_payload(std::move(bytes)));
+  // link's delay plus per-message transmission time. `cls` only matters
+  // with overload protection enabled: it picks the receiving AD's
+  // ingress-queue priority.
+  bool send(AdId from, AdId to, std::vector<std::uint8_t> bytes,
+            MsgClass cls = MsgClass::kUpdate) {
+    return send(from, to, make_payload(std::move(bytes)), cls);
   }
   // Shared-payload variant: broadcasts reuse one allocation across all
   // receivers (corruption faults copy-on-write the affected frame only).
-  bool send(AdId from, AdId to, Payload payload);
+  bool send(AdId from, AdId to, Payload payload,
+            MsgClass cls = MsgClass::kUpdate);
+
+  // --- overload protection -------------------------------------------
+  // Bounded class-prioritized ingress queues on every AD (see MsgClass).
+  // Default-off; enabling changes delivery timing, so differential
+  // transcripts are only stable with it off.
+  void set_overload(const OverloadConfig& config);
+  [[nodiscard]] const OverloadConfig& overload() const noexcept {
+    return overload_;
+  }
+  [[nodiscard]] const OverloadStats& overload_stats() const noexcept {
+    return overload_stats_;
+  }
 
   // Change a link's state and notify both endpoint nodes immediately
   // (unless notifications are disabled).
@@ -228,6 +319,43 @@ class Network {
   void restart(AdId ad);
   [[nodiscard]] bool alive(AdId ad) const;
   [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  // ADs currently crashed (node destroyed, not yet restarted).
+  [[nodiscard]] std::size_t down_count() const noexcept { return down_count_; }
+
+  // Fire on_link_change(ad, up) at alive neighbors when `ad` crashes or
+  // restarts -- the failure-detection oracle for node churn, mirroring
+  // set_link_notifications for links. Default off (byte-identical).
+  void set_crash_notifications(bool enabled) noexcept {
+    crash_notifications_ = enabled;
+  }
+  [[nodiscard]] bool crash_notifications() const noexcept {
+    return crash_notifications_;
+  }
+
+  // --- graceful restart ----------------------------------------------
+  void set_graceful_restart(const GrConfig& config) { gr_ = config; }
+  [[nodiscard]] const GrConfig& gr() const noexcept { return gr_; }
+  // True while the AD's frozen pre-crash state is serving its grace
+  // window (stays true through a restart until the handover deadline).
+  [[nodiscard]] bool in_grace(AdId ad) const;
+  [[nodiscard]] std::size_t in_grace_count() const noexcept {
+    return in_grace_count_;
+  }
+  // Alive, or dead-but-in-grace: the set of ADs that can still forward.
+  [[nodiscard]] bool usable(AdId ad) const { return alive(ad) || in_grace(ad); }
+  // The node whose FIB answers forwarding queries for `ad`: the frozen
+  // zombie during a grace window (even after the control plane has
+  // restarted -- handover waits for the deadline), else the live node,
+  // else null. Identical to node() when GR is off.
+  [[nodiscard]] Node* forwarding_node(AdId ad);
+  // Grace windows that expired with the AD still down (stale flush)
+  // resp. ended with a restarted control plane (hitless handover).
+  [[nodiscard]] std::uint64_t gr_flushes() const noexcept {
+    return gr_flushes_;
+  }
+  [[nodiscard]] std::uint64_t gr_recoveries() const noexcept {
+    return gr_recoveries_;
+  }
 
   // Install keepalive on every attached node, and on every node restarted
   // from now on.
@@ -322,7 +450,23 @@ class Network {
   friend class Node;
 
   void deliver_frame(AdId from, AdId to, LinkId link, Payload payload,
-                     double delay_ms, bool corrupted);
+                     double delay_ms, bool corrupted, MsgClass cls);
+  void enqueue_ingress(AdId from, AdId to, LinkId link, Payload payload,
+                       MsgClass cls);
+  void service_ingress(AdId to);
+  void end_grace(AdId ad);
+
+  struct QueuedFrame {
+    AdId from;
+    LinkId link;
+    Payload payload;
+    SimTime arrival_ms = 0.0;
+  };
+  struct IngressQueue {
+    std::deque<QueuedFrame> cls[kMsgClassCount];
+    std::size_t depth = 0;
+    bool service_scheduled = false;
+  };
 
   Engine& engine_;
   Topology& topo_;
@@ -336,7 +480,19 @@ class Network {
   Prng fault_prng_{0};
   std::uint64_t losses_ = 0;
   std::uint64_t crashes_ = 0;
+  std::size_t down_count_ = 0;
   bool link_notifications_ = true;
+  bool crash_notifications_ = false;
+  OverloadConfig overload_;
+  OverloadStats overload_stats_;
+  std::vector<IngressQueue> ingress_;  // indexed by AdId (receiver)
+  GrConfig gr_;
+  // GR zombies: the frozen pre-crash node, non-null iff in grace.
+  std::vector<std::unique_ptr<Node>> frozen_;  // indexed by AdId
+  std::vector<SimTime> grace_deadline_;        // indexed by AdId
+  std::size_t in_grace_count_ = 0;
+  std::uint64_t gr_flushes_ = 0;
+  std::uint64_t gr_recoveries_ = 0;
   NodeFactory node_factory_;
   KeepaliveConfig default_keepalive_;
   bool keepalive_default_set_ = false;

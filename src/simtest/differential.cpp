@@ -245,6 +245,10 @@ ArchRunOutput run_one(const std::string& arch, const SimCase& c,
         }
         break;
       }
+      case SimEvent::Kind::kRestartStorm:
+        injector.restart_storm(e.ad, e.at_ms, e.period_ms, /*duty=*/0.5,
+                               e.cycles);
+        break;
     }
   }
   for (const ByzantineSpec& spec : byz) {

@@ -25,6 +25,7 @@ SimCase generate_sim_case(const SimCaseParams& params) {
   std::uint64_t sched_state = params.seed ^ 0x7363686dULL;    // "schm"
   std::uint64_t fault_state = params.seed ^ 0x66617565ULL;    // "faue"
   std::uint64_t flap_state = params.seed ^ 0x666c6170ULL;     // "flap"
+  std::uint64_t restart_state = params.seed ^ 0x72737472ULL;  // "rstr"
 
   // --- topology ---------------------------------------------------------
   Prng topo_prng(splitmix64(topo_state));
@@ -153,6 +154,33 @@ SimCase generate_sim_case(const SimCaseParams& params) {
     const std::uint32_t span_cycles =
         params.max_flap_cycles > 2 ? params.max_flap_cycles - 1 : 1;
     e.cycles = 2 + static_cast<std::uint32_t>(flap_prng.below(span_cycles));
+    c.events.push_back(e);
+  }
+
+  // --- restart storm ----------------------------------------------------
+  Prng restart_prng(splitmix64(restart_state));
+  if (restart_prng.bernoulli(params.restart_storm_prob)) {
+    // Transit ADs make the interesting storms (their outage reroutes
+    // everyone behind them); fall back to any AD on all-stub topologies.
+    std::vector<AdId> transits;
+    for (const Ad& ad : c.topo.ads()) {
+      if (c.topo.can_transit(ad.id)) transits.push_back(ad.id);
+    }
+    SimEvent e;
+    e.kind = SimEvent::Kind::kRestartStorm;
+    e.ad = transits.empty()
+               ? AdId{static_cast<std::uint32_t>(
+                     restart_prng.below(c.topo.ad_count()))}
+               : restart_prng.pick(transits);
+    e.at_ms = churn_begin +
+              restart_prng.uniform01() * (churn_end - churn_begin) * 0.5;
+    // Down phase (half the period) long enough for keepalive detection,
+    // cycle count small enough that the storm ends inside churn.
+    e.period_ms = 300.0 + restart_prng.uniform01() * 300.0;
+    const std::uint32_t span_cycles =
+        params.max_restart_cycles > 2 ? params.max_restart_cycles - 1 : 1;
+    e.cycles =
+        2 + static_cast<std::uint32_t>(restart_prng.below(span_cycles));
     c.events.push_back(e);
   }
 

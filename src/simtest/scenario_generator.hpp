@@ -42,6 +42,11 @@ struct SimCaseParams {
   // never reshuffles the other schedule dimensions of an existing seed.
   double flap_storm_prob = 0.2;
   std::uint32_t max_flap_cycles = 4;  // 2..max cycles per storm
+  // Chance of one restart storm (an AD crash/restarting several times in
+  // quick succession -- the graceful-restart schedule shape). Also drawn
+  // from its own splitmix64 stream for the same reason.
+  double restart_storm_prob = 0.2;
+  std::uint32_t max_restart_cycles = 3;  // 2..max cycles per storm
 
   // Message-fault intensity ceilings (rates drawn uniformly below these).
   double max_duplicate_rate = 0.02;

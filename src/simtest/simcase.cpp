@@ -26,6 +26,7 @@ const char* event_keyword(SimEvent::Kind kind) {
     case SimEvent::Kind::kCrash: return "crash";
     case SimEvent::Kind::kByzantine: return "byzantine";
     case SimEvent::Kind::kLinkFlap: return "link-flap";
+    case SimEvent::Kind::kRestartStorm: return "restart-storm";
   }
   return "?";
 }
@@ -147,6 +148,11 @@ std::string format_sim_case(const SimCase& c) {
         break;
       case SimEvent::Kind::kLinkFlap:
         out += " a=" + c.topo.ad(e.a).name + " b=" + c.topo.ad(e.b).name +
+               " period-ms=" + fmt_double(e.period_ms) +
+               " cycles=" + std::to_string(e.cycles);
+        break;
+      case SimEvent::Kind::kRestartStorm:
+        out += " ad=" + c.topo.ad(e.ad).name +
                " period-ms=" + fmt_double(e.period_ms) +
                " cycles=" + std::to_string(e.cycles);
         break;
@@ -361,6 +367,7 @@ SimCaseParseResult parse_sim_case(std::string_view text) {
     else if (kind == "crash") e.kind = SimEvent::Kind::kCrash;
     else if (kind == "byzantine") e.kind = SimEvent::Kind::kByzantine;
     else if (kind == "link-flap") e.kind = SimEvent::Kind::kLinkFlap;
+    else if (kind == "restart-storm") e.kind = SimEvent::Kind::kRestartStorm;
     else {
       return SimCaseParseError{
           d.line, "unknown event kind '" + std::string(kind) + "'"};
@@ -445,6 +452,15 @@ SimCaseParseResult parse_sim_case(std::string_view text) {
         if (e.period_ms <= 0.0 || e.cycles == 0) {
           return SimCaseParseError{
               d.line, "link-flap needs period-ms>0 and cycles>=1"};
+        }
+        break;
+      case SimEvent::Kind::kRestartStorm:
+        if (!have_ad) {
+          return SimCaseParseError{d.line, "restart-storm needs ad="};
+        }
+        if (e.period_ms <= 0.0 || e.cycles == 0) {
+          return SimCaseParseError{
+              d.line, "restart-storm needs period-ms>0 and cycles>=1"};
         }
         break;
     }
@@ -543,6 +559,7 @@ SimCase remove_ad(const SimCase& c, AdId victim) {
         n.b = mapped(e.b);
         break;
       case SimEvent::Kind::kCrash:
+      case SimEvent::Kind::kRestartStorm:
         if (e.ad == victim) continue;
         n.ad = mapped(e.ad);
         break;

@@ -23,6 +23,7 @@
 //   event crash at=800 ad=regional-3 restart-ms=1200
 //   event byzantine at=1000 ad=regional-2 kind=route-leak
 //   event link-flap at=600 a=backbone-0 b=regional-2 period-ms=200 cycles=3
+//   event restart-storm at=700 ad=backbone-0 period-ms=400 cycles=2
 //
 // parse_sim_case(format_sim_case(c)) reproduces c, and re-serializing is
 // byte-identical (round-trip tested).
@@ -50,6 +51,9 @@ struct SimEvent {
     kByzantine = 2,  // `ad` starts misbehaving as `misbehavior` at at_ms
     kLinkFlap = 3,   // link (a, b) flaps: `cycles` down/up pairs starting
                      // at at_ms, one pair per period_ms (50% duty)
+    kRestartStorm = 4,  // `ad` crash/restarts repeatedly: `cycles`
+                        // crash-then-recover pairs starting at at_ms, one
+                        // per period_ms (down for half, back for half)
   };
 
   Kind kind = Kind::kLinkDown;

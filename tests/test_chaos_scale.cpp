@@ -35,6 +35,58 @@ TEST(ChaosScale, PartitionHealsCleanlyAtOneThousandAds) {
   }
 }
 
+TEST(ChaosScale, RestartStormGracefulRestartProtectsContinuity) {
+  // The restart-storm A/B at 1e3 ADs, all four design points: with
+  // graceful restart + bounded ingress queues on, forwarding continuity
+  // through the staggered transit crashes must beat the cold-restart
+  // baseline and every grace window must end in a recovery handover
+  // (grace > outage), with zero persistent damage on both sides.
+  for (const std::string& arch : chaos_design_points()) {
+    SCOPED_TRACE(arch);
+    ScaleChaosParams cold = scale_params(StormFamily::kRestartStorm);
+    ScaleChaosParams gr = cold;
+    gr.gr.enabled = true;
+    gr.gr.grace_ms = 2'000.0;  // > restart_down_ms: recovery within grace
+    gr.overload.queue_limit = 64;
+    gr.overload.service_batch = 16;
+    gr.overload.service_interval_ms = 0.5;
+
+    const ScaleChaosResult off = run_scale_chaos(arch, cold);
+    const ScaleChaosResult on = run_scale_chaos(arch, gr);
+    EXPECT_GT(off.node_crashes, 0u);
+    EXPECT_EQ(off.invariants.persistent_violations(), 0u);
+    EXPECT_EQ(on.invariants.persistent_violations(), 0u);
+    EXPECT_GT(on.gr_recoveries, 0u) << "no grace window saw its recovery";
+    EXPECT_EQ(on.gr_flushes, 0u) << "grace > outage must never flush";
+    EXPECT_GT(on.invariants.continuity(), off.invariants.continuity())
+        << "GR must keep probes flowing that cold restart black-holes";
+    EXPECT_GE(on.invariants.continuity(), 0.95);
+    // The bounded queues were armed and respected.
+    EXPECT_GT(on.overload.enqueued, 0u);
+    EXPECT_LE(on.overload.peak_depth, gr.overload.queue_limit);
+  }
+}
+
+TEST(ChaosScale, RestartStormGraceExpiryFlushesStaleState) {
+  // Grace window SHORTER than the outage: every window must expire into
+  // a stale flush, and the flush must leave no persistent stale route
+  // behind once the network reconverges.
+  for (const std::string& arch : chaos_design_points()) {
+    SCOPED_TRACE(arch);
+    ScaleChaosParams params = scale_params(StormFamily::kRestartStorm);
+    params.gr.enabled = true;
+    params.gr.grace_ms = 150.0;
+    params.restart_down_ms = 600.0;
+    const ScaleChaosResult result = run_scale_chaos(arch, params);
+    EXPECT_GT(result.gr_flushes, 0u) << "no grace window ever expired";
+    EXPECT_EQ(result.gr_recoveries, 0u)
+        << "grace < outage must never hand over to a live control plane";
+    EXPECT_EQ(result.invariants.persistent_violations(), 0u)
+        << "stale state survived the flush";
+    EXPECT_GE(result.reconverge_ms, 0.0) << "never reconverged";
+  }
+}
+
 TEST(ChaosScale, PartitionRunsAreDeterministic) {
   const ScaleChaosParams params = scale_params(StormFamily::kPartition);
   const ScaleChaosResult a = run_scale_chaos("ecma", params);

@@ -311,6 +311,47 @@ TEST_F(NetworkTest, KeepaliveDeclaresSilentNeighborDeadAndRevivesIt) {
   EXPECT_TRUE(net_->node(b_)->neighbor_alive(a_));
 }
 
+TEST_F(NetworkTest, StaleQueuedFrameNeverRevivesOrSustainsDeadNeighbor) {
+  // Hold-timer edge: with overload protection a frame can be serviced
+  // long after it arrived, carrying its (old) interface arrival time.
+  // Such stale evidence must neither revive a declared-dead neighbor nor
+  // postpone the re-expiry of one that revived and died again within a
+  // hold interval.
+  net_->set_link_notifications(false);
+  net_->set_keepalive(KeepaliveConfig{.interval_ms = 10.0,
+                                      .miss_threshold = 3});
+  net_->crash(b_);
+  EchoNode* a_node = nodes_[a_.v];
+  engine_.run_until(100.0);
+  ASSERT_EQ(a_node->link_events.back(), std::make_pair(b_, false));
+  ASSERT_FALSE(net_->node(a_)->neighbor_alive(b_));
+
+  const auto link = topo_.find_link(a_, b_);
+  ASSERT_TRUE(link.has_value());
+  const std::uint32_t slot = topo_.adjacency_slot(*link, a_);
+  const std::vector<std::uint8_t> frame{0x7F};
+
+  // A frame that arrived BEFORE the death declaration, serviced late out
+  // of an ingress queue: must not vouch for the dead neighbor.
+  net_->node(a_)->deliver(b_, slot, frame, /*heard_at=*/5.0);
+  EXPECT_FALSE(net_->node(a_)->neighbor_alive(b_));
+  EXPECT_EQ(a_node->link_events.back(), std::make_pair(b_, false));
+
+  // Evidence from at/after the declaration revives the adjacency.
+  net_->node(a_)->deliver(b_, slot, frame, engine_.now());
+  EXPECT_TRUE(net_->node(a_)->neighbor_alive(b_));
+  EXPECT_EQ(a_node->link_events.back(), std::make_pair(b_, true));
+
+  // More stale frames trickle out of the queue; monotone last_heard
+  // ignores them, so the revived-but-silent neighbor re-expires one hold
+  // interval after the genuine evidence -- not off the stale timestamps,
+  // and not never.
+  net_->node(a_)->deliver(b_, slot, frame, /*heard_at=*/5.0);
+  engine_.run_until(engine_.now() + 100.0);
+  EXPECT_FALSE(net_->node(a_)->neighbor_alive(b_));
+  EXPECT_EQ(a_node->link_events.back(), std::make_pair(b_, false));
+}
+
 TEST_F(NetworkTest, KeepaliveDetectsSilentLinkFailureWithoutOracle) {
   net_->set_link_notifications(false);
   net_->set_keepalive(KeepaliveConfig{.interval_ms = 10.0,

@@ -82,15 +82,22 @@ TEST(SimCaseFormat, EveryEventKindSurvivesTheRoundTrip) {
   params.max_link_events = 4;
   params.max_crash_events = 2;
   params.permanent_failure_prob = 1.0;  // repair_ms = 0 must round-trip too
+  params.restart_storm_prob = 1.0;
   const SimCase original = generate_sim_case(params);
   bool saw_link = false, saw_crash = false, saw_byz = false;
+  bool saw_restart = false;
   for (const SimEvent& e : original.events) {
     saw_link |= e.kind == SimEvent::Kind::kLinkDown;
     saw_crash |= e.kind == SimEvent::Kind::kCrash;
     saw_byz |= e.kind == SimEvent::Kind::kByzantine;
+    if (e.kind == SimEvent::Kind::kRestartStorm) {
+      saw_restart = true;
+      EXPECT_GT(e.period_ms, 0.0);
+      EXPECT_GE(e.cycles, 2u);
+    }
   }
-  ASSERT_TRUE(saw_link && saw_crash && saw_byz)
-      << "generator knobs must force all three event kinds";
+  ASSERT_TRUE(saw_link && saw_crash && saw_byz && saw_restart)
+      << "generator knobs must force all four event kinds";
   const SimCase reparsed = parse_ok(format_sim_case(original));
   EXPECT_EQ(format_sim_case(reparsed), format_sim_case(original));
   ASSERT_EQ(reparsed.events.size(), original.events.size());
@@ -101,6 +108,7 @@ TEST(SimCaseFormat, EveryEventKindSurvivesTheRoundTrip) {
     EXPECT_EQ(reparsed.events[i].ad, original.events[i].ad);
     EXPECT_EQ(reparsed.events[i].misbehavior, original.events[i].misbehavior);
     EXPECT_EQ(reparsed.events[i].victim, original.events[i].victim);
+    EXPECT_EQ(reparsed.events[i].cycles, original.events[i].cycles);
     EXPECT_NEAR(reparsed.events[i].at_ms, original.events[i].at_ms, 0.01);
   }
 }

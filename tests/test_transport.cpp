@@ -250,5 +250,90 @@ TEST_F(TransportTest, SenderGivesUpWhenPeerUnreachable) {
   EXPECT_TRUE(conn.failed());
 }
 
+TEST_F(TransportTest, PeerCrashMidWindowFailsStreamAndNewGenerationResumes) {
+  // The receiver's AD dies with unacked segments in the sender's window
+  // and restarts cold (new node object, new generation). GBN receiver
+  // state does not survive a restart, so the OLD stream must fail
+  // cleanly at the sender (bounded give-up, no duplicate or reordered
+  // delivery to the revived peer) and a NEW connection over the
+  // reconverged control plane must work end to end.
+  net_->set_node_factory(
+      [this](AdId) { return std::make_unique<OrwgNode>(&policies_); });
+  // Crash oracle on: neighbors observe the death, and the restart's
+  // recovery signal triggers the LSDB resync the revived route server
+  // needs before it can accept or synthesize anything.
+  net_->set_crash_notifications(true);
+  transport::GbnConfig config;
+  config.max_retransmit_rounds = 4;
+  config.retransmit_timeout_ms = 100.0;
+  const AdId src_ad = fig_.campus[0];
+  const AdId dst_ad = fig_.campus[6];
+
+  transport::TransportHost sender(*nodes_[src_ad.v], engine_, config);
+  auto receiver = std::make_unique<transport::TransportHost>(
+      *nodes_[dst_ad.v], engine_, config);
+  std::vector<std::string> delivered;
+  receiver->connect(src_ad).set_message_handler(
+      [&](std::vector<std::uint8_t> msg) {
+        delivered.emplace_back(msg.begin(), msg.end());
+      });
+  transport::Connection& conn = sender.connect(dst_ad);
+  conn.send(bytes_of("before-crash"));
+  engine_.run();
+  ASSERT_EQ(delivered.size(), 1u);
+
+  // Crash the peer, then stuff the window: every new segment is unacked.
+  const std::uint64_t old_generation = net_->generation(dst_ad);
+  receiver.reset();  // host of the about-to-die node: out of scope first
+  net_->crash(dst_ad);
+  for (int i = 0; i < 6; ++i) conn.send(bytes_of("lost-" + std::to_string(i)));
+  engine_.run();
+  EXPECT_TRUE(conn.failed()) << "sender must give up, not spin forever";
+  EXPECT_GT(conn.retransmissions(), 0u);
+
+  // Cold restart: new generation, empty control plane; let it resync.
+  net_->restart(dst_ad);
+  EXPECT_GT(net_->generation(dst_ad), old_generation);
+  engine_.run();
+
+  // A fresh connection pair (new sender stream, new receiver state on
+  // the restarted node) resumes service; the old stream stays dead.
+  auto* revived = static_cast<OrwgNode*>(net_->node(dst_ad));
+  ASSERT_NE(revived, nullptr);
+  // The first post-restart round still rides the sender's stale PR; the
+  // revived gateway has no state for that handle, reports the broken PR
+  // back, and the source re-establishes -- then the receiver's ACKs need
+  // their own reverse PR setup. That full chain (error unwind + two
+  // setup exchanges) takes ~500ms of sim time, so the new stream gets a
+  // retry budget that covers it; the OLD stream keeps the tight config
+  // and stays failed.
+  transport::GbnConfig resume_config = config;
+  resume_config.max_retransmit_rounds = 12;
+  transport::TransportHost sender2(*nodes_[src_ad.v], engine_, resume_config);
+  transport::TransportHost receiver2(*revived, engine_, resume_config);
+  std::vector<std::string> delivered2;
+  receiver2.connect(src_ad).set_message_handler(
+      [&](std::vector<std::uint8_t> msg) {
+        delivered2.emplace_back(msg.begin(), msg.end());
+      });
+  transport::Connection& conn2 = sender2.connect(dst_ad);
+  for (int i = 0; i < 5; ++i) conn2.send(bytes_of("m" + std::to_string(i)));
+  engine_.run();
+  ASSERT_EQ(delivered2.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(delivered2[static_cast<std::size_t>(i)],
+              "m" + std::to_string(i));
+  }
+  EXPECT_TRUE(conn2.idle());
+  EXPECT_FALSE(conn2.failed());
+  // The recovery was ARQ-driven: the stale-PR rounds were lost (and
+  // reported by the revived gateway), then retransmitted on a fresh PR.
+  EXPECT_GT(conn2.retransmissions(), 0u);
+  EXPECT_GT(revived->data_drops(), 0u)
+      << "revived gateway never saw (and refused) the stale handle";
+  EXPECT_TRUE(conn.failed());
+  EXPECT_EQ(delivered.size(), 1u) << "old stream must not deliver again";
+}
+
 }  // namespace
 }  // namespace idr
