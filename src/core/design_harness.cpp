@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/synthesis.hpp"
+#include "sim/shard.hpp"
 #include "proto/ecma/ecma_node.hpp"
 #include "proto/idrp/idrp_node.hpp"
 #include "proto/lshh/lshh_node.hpp"
@@ -91,6 +92,15 @@ bool is_design_point(const std::string& arch) {
     if (name == arch) return true;
   }
   return false;
+}
+
+void apply_engine_backend(Engine& engine, const Topology& topo,
+                          const EngineBackend& backend) {
+  if (backend.shards <= 1) return;
+  ShardPlanOptions opts;
+  opts.lookahead_override_ms = backend.lookahead_ms;
+  engine.enable_sharding(make_shard_plan(topo, backend.shards, opts),
+                         backend.threads);
 }
 
 bool is_stub_role(const Topology& topo, AdId ad) {

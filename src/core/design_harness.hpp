@@ -33,6 +33,29 @@ const std::vector<std::string>& design_point_names();
 // adapters that derive policy from roles.
 [[nodiscard]] bool is_stub_role(const Topology& topo, AdId ad);
 
+// Engine backend selection shared by the differential runner and the
+// scale benches: scheduler choice plus the optional sharded-parallel
+// execution mode. shards <= 1 keeps the engine sequential (the
+// reference backend); shards > 1 partitions the topology along the
+// hierarchy and runs conservative lookahead windows -- inline on the
+// driver thread when threads == 0, or on `threads` workers. Results are
+// byte-identical across all of these for the same seed.
+struct EngineBackend {
+  SchedulerKind scheduler = SchedulerKind::kCalendar;
+  std::uint32_t shards = 1;
+  unsigned threads = 0;
+  // Shrink the window lookahead below the topology's minimum cross-shard
+  // delay (window-boundary stress in tests); 0 keeps the partitioner's
+  // value. Never enlarges it.
+  double lookahead_ms = 0.0;
+};
+
+// Partition `topo` and enable sharding on a freshly constructed engine
+// per `backend` (no-op when shards <= 1). Must run before the Network is
+// built: per-shard delivery aggregates are sized at Network construction.
+void apply_engine_backend(Engine& engine, const Topology& topo,
+                          const EngineBackend& backend);
+
 struct HarnessConfig {
   // Arm the per-design-point Byzantine defenses (ECMA receiver-side
   // partial-order enforcement, IDRP clamping, LS/LSHH origin auth, ORWG

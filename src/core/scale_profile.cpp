@@ -145,4 +145,11 @@ Network::NodeFactory make_scale_factory(const std::string& arch,
   return {};
 }
 
+ShardPlan make_scale_shard_plan(const ScaleProfile& profile,
+                                std::uint32_t shards) {
+  ShardPlanOptions opts;
+  opts.hierarchy_groups = true;
+  return make_shard_plan(profile.topo, shards, opts);
+}
+
 }  // namespace idr

@@ -25,6 +25,7 @@
 #include "proto/common/damping.hpp"
 #include "proto/ecma/partial_order.hpp"
 #include "sim/network.hpp"
+#include "sim/shard.hpp"
 #include "topology/generator.hpp"
 #include "topology/graph.hpp"
 
@@ -68,5 +69,13 @@ struct ScaleFactoryOptions {
 [[nodiscard]] Network::NodeFactory make_scale_factory(
     const std::string& arch, const ScaleProfile& profile,
     const ScaleFactoryOptions& options);
+
+// Hierarchy-aware shard plan over the profile's topology: regional
+// subtrees stay whole (a region's metros and campuses ride with their
+// regional AD), backbone ADs are individually placeable. This is the
+// partition bench_scale --threads and the parallel soaks run; pass it to
+// Engine::enable_sharding before constructing the Network.
+[[nodiscard]] ShardPlan make_scale_shard_plan(const ScaleProfile& profile,
+                                              std::uint32_t shards);
 
 }  // namespace idr

@@ -1,0 +1,45 @@
+#include "sim/barrier.hpp"
+
+namespace idr::detail {
+
+void WindowBarrier::open() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+    done_ = 0;
+  }
+  open_cv_.notify_all();
+}
+
+void WindowBarrier::wait_done() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_ == workers_; });
+}
+
+void WindowBarrier::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  open_cv_.notify_all();
+}
+
+bool WindowBarrier::wait_open(std::uint64_t& last_epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  open_cv_.wait(lock,
+                [this, &last_epoch] { return stop_ || epoch_ != last_epoch; });
+  if (stop_) return false;
+  last_epoch = epoch_;
+  return true;
+}
+
+void WindowBarrier::arrive_done() {
+  std::size_t done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done = ++done_;
+  }
+  if (done == workers_) done_cv_.notify_all();
+}
+
+}  // namespace idr::detail

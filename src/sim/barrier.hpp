@@ -1,0 +1,45 @@
+// Window barrier for the sharded parallel engine: the coordinator opens
+// one synchronization window per conservative time window, every worker
+// runs its shards' events for that window, and the coordinator waits for
+// all of them before draining mailboxes and serializing control events.
+//
+// All shared window state (the bound, the shard queues touched by exactly
+// one side at a time) is published through this barrier's mutex, so the
+// protocol needs no atomics beyond it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace idr::detail {
+
+class WindowBarrier {
+ public:
+  explicit WindowBarrier(std::size_t workers) : workers_(workers) {}
+
+  // Coordinator: publish a new window and wake every worker.
+  void open();
+  // Coordinator: block until every worker called arrive_done().
+  void wait_done();
+  // Coordinator: wake workers with the shutdown flag set.
+  void stop();
+
+  // Worker: block until a window newer than `last_epoch` opens (updates
+  // `last_epoch`) or shutdown is requested. False means shut down.
+  bool wait_open(std::uint64_t& last_epoch);
+  // Worker: this worker finished the current window.
+  void arrive_done();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable open_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t done_ = 0;
+  std::size_t workers_;
+  bool stop_ = false;
+};
+
+}  // namespace idr::detail

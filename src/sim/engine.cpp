@@ -4,10 +4,16 @@
 #include <cassert>
 #include <limits>
 
+#include "sim/shard.hpp"
 #include "util/check.hpp"
 
 namespace idr {
 namespace detail {
+
+ExecContext& exec_context() noexcept {
+  thread_local ExecContext ctx;
+  return ctx;
+}
 
 void CalendarQueue::insert_sorted(std::vector<SimEvent>& bucket,
                                   SimEvent ev) {
@@ -41,19 +47,15 @@ std::size_t CalendarQueue::find_min_bucket() {
   }
   // Every pending event is more than a full ring ahead: direct-search the
   // bucket minima (rare; only under very sparse far-future schedules).
-  std::size_t best = 0;
-  SimTime best_t = std::numeric_limits<SimTime>::infinity();
-  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  std::size_t best = buckets_.size();
   for (std::size_t b = 0; b < buckets_.size(); ++b) {
     if (buckets_[b].empty()) continue;
-    const SimEvent& ev = buckets_[b].back();
-    if (ev.t < best_t || (ev.t == best_t && ev.seq < best_seq)) {
+    if (best == buckets_.size() ||
+        EventLater{}(buckets_[best].back(), buckets_[b].back())) {
       best = b;
-      best_t = ev.t;
-      best_seq = ev.seq;
     }
   }
-  day_ = day_of(best_t);
+  day_ = day_of(buckets_[best].back().t);
   return best;
 }
 
@@ -87,7 +89,7 @@ void CalendarQueue::rehash(std::size_t nbuckets) {
   }
   // Deterministic width estimate: spread the live population over a third
   // of the buckets' worth of days. Purely a performance knob -- pop order
-  // is (t, seq) regardless of the bucket geometry.
+  // is the event key regardless of the bucket geometry.
   double width = 1.0;
   if (all.size() >= 2 && max_t > min_t) {
     width = 3.0 * (max_t - min_t) / static_cast<double>(all.size());
@@ -104,13 +106,26 @@ void CalendarQueue::rehash(std::size_t nbuckets) {
 
 }  // namespace detail
 
-void Engine::at(SimTime t, Callback fn) {
-  // Scheduling into the simulated past is a caller bug (typically a stale
-  // absolute timestamp); clamp to now() so the event still runs, in FIFO
-  // order with anything else due now, and trip debug builds loudly.
-  assert(t >= now_ && "Engine::at: scheduling into the simulated past");
-  if (t < now_) t = now_;
-  detail::SimEvent ev{t, next_seq_++, std::move(fn)};
+Engine::Engine(SchedulerKind scheduler) : scheduler_(scheduler) {}
+Engine::~Engine() = default;
+
+SimTime Engine::now() const noexcept {
+  const detail::ExecContext& ctx = detail::exec_context();
+  if (ctx.in_window && ctx.engine == this) return ctx.now;
+  return now_;
+}
+
+std::uint64_t Engine::next_seq(StreamId stream) {
+  if (stream >= stream_seq_.size()) {
+    // Sharded engines pre-size the table in enable_sharding; lazy growth
+    // here would race between worker threads.
+    IDR_CHECK_MSG(!runtime_, "stream id out of range on a sharded engine");
+    stream_seq_.resize(static_cast<std::size_t>(stream) + 1, 0);
+  }
+  return stream_seq_[stream]++;
+}
+
+void Engine::push_sequential(detail::SimEvent ev) {
   if (scheduler_ == SchedulerKind::kCalendar) {
     calendar_.push(std::move(ev));
   } else {
@@ -119,12 +134,76 @@ void Engine::at(SimTime t, Callback fn) {
   }
 }
 
+void Engine::at(SimTime t, Callback fn) {
+  // Scheduling into the simulated past is a caller bug (typically a stale
+  // absolute timestamp); clamp to now() so the event still runs, in FIFO
+  // order with anything else due now, and trip debug builds loudly.
+  const SimTime base = now();
+  assert(t >= base && "Engine::at: scheduling into the simulated past");
+  if (t < base) t = base;
+  if (runtime_) {
+    runtime_->schedule_control(t, std::move(fn));
+    return;
+  }
+  push_sequential(
+      detail::SimEvent{t, kControlStream, next_seq(kControlStream),
+                       std::move(fn)});
+}
+
+void Engine::at_node(SimTime t, StreamId stream, std::uint32_t owner_ad,
+                     Callback fn) {
+  const SimTime base = now();
+  assert(t >= base && "Engine::at_node: scheduling into the simulated past");
+  if (t < base) t = base;
+  IDR_CHECK(stream != kControlStream);
+  if (runtime_) {
+    runtime_->schedule_node(t, stream, owner_ad, std::move(fn));
+    return;
+  }
+  push_sequential(detail::SimEvent{t, stream, next_seq(stream),
+                                   std::move(fn)});
+}
+
+void Engine::enable_sharding(const ShardPlan& plan, unsigned threads) {
+  IDR_CHECK_MSG(!runtime_, "sharding already enabled on this engine");
+  IDR_CHECK_MSG(empty() && processed_ == 0 && stream_seq_.empty(),
+                "enable_sharding must run before anything is scheduled");
+  IDR_CHECK_MSG(plan.shards >= 1, "a shard plan needs at least one shard");
+  IDR_CHECK_MSG(plan.lookahead_ms > 0.0,
+                "zero lookahead would deadlock the window loop");
+  // One stream per AD plus the control stream, fixed up front so no
+  // worker ever grows the table.
+  stream_seq_.assign(plan.shard_of.size() + 1, 0);
+  runtime_ = std::make_unique<detail::ShardRuntime>(*this, plan, threads);
+}
+
+std::uint32_t Engine::shard_count() const noexcept {
+  return runtime_ ? runtime_->shard_count() : 1;
+}
+
+std::uint32_t Engine::current_shard() const noexcept {
+  const detail::ExecContext& ctx = detail::exec_context();
+  if (ctx.in_window && ctx.engine == this) return ctx.shard;
+  return 0;
+}
+
+std::uint32_t Engine::shard_of_ad(std::uint32_t ad) const noexcept {
+  return runtime_ ? runtime_->shard_of_ad(ad) : 0;
+}
+
+const ParallelStats* Engine::parallel_stats() const noexcept {
+  return runtime_ ? &runtime_->stats() : nullptr;
+}
+
 SimTime Engine::peek_time() {
   if (scheduler_ == SchedulerKind::kCalendar) return calendar_.min_time();
   return heap_.front().t;
 }
 
 bool Engine::step() {
+  IDR_CHECK_MSG(!runtime_,
+                "Engine::step is sequential-only; use run/run_until on a "
+                "sharded engine");
   if (empty()) return false;
   detail::SimEvent ev;
   if (scheduler_ == SchedulerKind::kCalendar) {
@@ -141,6 +220,7 @@ bool Engine::step() {
 }
 
 std::size_t Engine::run(std::size_t max_events) {
+  if (runtime_) return runtime_->run(max_events);
   std::size_t n = 0;
   while (n < max_events && step()) ++n;
   IDR_CHECK_MSG(empty() || n < max_events,
@@ -149,6 +229,7 @@ std::size_t Engine::run(std::size_t max_events) {
 }
 
 std::size_t Engine::run_until(SimTime t) {
+  if (runtime_) return runtime_->run_until(t);
   std::size_t n = 0;
   while (!empty() && peek_time() <= t) {
     step();
@@ -156,6 +237,23 @@ std::size_t Engine::run_until(SimTime t) {
   }
   if (t > now_) now_ = t;
   return n;
+}
+
+bool Engine::empty() const noexcept {
+  if (runtime_) return runtime_->empty();
+  return scheduler_ == SchedulerKind::kCalendar ? calendar_.empty()
+                                                : heap_.empty();
+}
+
+std::size_t Engine::pending() const noexcept {
+  if (runtime_) return runtime_->pending();
+  return scheduler_ == SchedulerKind::kCalendar ? calendar_.size()
+                                                : heap_.size();
+}
+
+std::size_t Engine::events_processed() const noexcept {
+  if (runtime_) return static_cast<std::size_t>(runtime_->events_processed());
+  return processed_;
 }
 
 }  // namespace idr

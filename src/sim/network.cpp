@@ -116,13 +116,19 @@ void Node::schedule_guarded(SimTime delay_ms, std::function<void()> fn) {
   // capture (network, AD, generation) instead of `this`. The generation
   // is bumped on crash, so a matching generation proves the very same
   // node object is still attached and `fn`'s captures are valid.
+  //
+  // Scheduled on the node's own stream with the node as owner: on a
+  // sharded engine the timer fires on this node's shard (never on a
+  // thread that doesn't own its state), and its position in the total
+  // event order is independent of the shard count.
   Network* net = net_;
   const AdId self = self_;
   const std::uint64_t gen = net->generation(self);
-  net->engine().after(delay_ms, [net, self, gen, fn = std::move(fn)] {
-    if (net->generation(self) != gen || !net->alive(self)) return;
-    fn();
-  });
+  net->engine().after_node(
+      delay_ms, self.v + 1, self.v, [net, self, gen, fn = std::move(fn)] {
+        if (net->generation(self) != gen || !net->alive(self)) return;
+        fn();
+      });
 }
 
 void Node::schedule_keepalive_tick(SimTime delay_ms) {
@@ -181,6 +187,10 @@ Network::Network(Engine& engine, Topology& topo)
   quarantined_.resize(topo.ad_count(), 0);
   frozen_.resize(topo.ad_count());
   grace_deadline_.resize(topo.ad_count(), 0.0);
+  // Per-shard delivery bookkeeping: size it now, which is why sharding
+  // must be enabled on the engine before the Network is built.
+  last_delivery_.assign(engine.shard_count(), 0.0);
+  losses_.assign(engine.shard_count(), 0);
 }
 
 // --- Byzantine / misconfigured ADs -----------------------------------
@@ -239,7 +249,6 @@ bool Network::is_quarantined(AdId ad) const {
 void Network::note_defense_rejection(AdId ad) {
   IDR_CHECK(ad.v < counters_.size());
   counters_[ad.v].defense_rejections += 1;
-  total_.defense_rejections += 1;
 }
 
 void Network::attach(AdId ad, std::unique_ptr<Node> node) {
@@ -385,127 +394,161 @@ const Counters& Network::counters(AdId ad) const {
   return counters_[ad.v];
 }
 
+Counters Network::total() const {
+  Counters t;
+  for (const Counters& c : counters_) t += c;
+  return t;
+}
+
+SimTime Network::last_delivery_time() const noexcept {
+  SimTime t = 0.0;
+  for (const SimTime s : last_delivery_) t = std::max(t, s);
+  return t;
+}
+
+std::uint64_t Network::losses() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::uint64_t l : losses_) n += l;
+  return n;
+}
+
+void Network::note_delivery() {
+  const std::uint32_t shard = engine_.current_shard();
+  IDR_CHECK(shard < last_delivery_.size());
+  last_delivery_[shard] = engine_.now();
+}
+
 void Network::reset_counters() {
   for (Counters& c : counters_) c = Counters{};
-  total_ = Counters{};
 }
 
 void Network::note_malformed(AdId ad) {
   IDR_CHECK(ad.v < counters_.size());
   counters_[ad.v].malformed_dropped += 1;
-  total_.malformed_dropped += 1;
 }
 
 bool Network::send(AdId from, AdId to, Payload bytes, MsgClass cls) {
   Counters& c = counters_[from.v];
   c.msgs_sent += 1;
   c.bytes_sent += bytes->size();
-  total_.msgs_sent += 1;
-  total_.bytes_sent += bytes->size();
 
   const auto link = topo_.find_link(from, to);
   if (!link || !topo_.link(*link).up) {
     c.msgs_dropped += 1;
-    total_.msgs_dropped += 1;
     return false;
   }
   const double base_delay =
       topo_.link(*link).delay_ms +
       per_byte_delay_ms_ * static_cast<double>(bytes->size());
 
-  // Adversarial per-frame faults, decided here from one seeded stream so
-  // the whole schedule is a pure function of the seed.
+  // Adversarial per-frame faults, all decided here at send time from the
+  // sender's own seeded stream: the fault schedule is a pure function of
+  // (seed, sender) -- independent of event interleaving, backend, and
+  // shard count -- and the delivery event below only acts on the flags,
+  // so it touches nothing but receiver-shard state.
+  Prng* prng = fault_prng(from);
   int copies = 1;
   if (faults_.duplicate_rate > 0.0 &&
-      fault_prng_.bernoulli(faults_.duplicate_rate)) {
+      prng->bernoulli(faults_.duplicate_rate)) {
     copies = 2;
-    counters_[to.v].msgs_duplicated += 1;
-    total_.msgs_duplicated += 1;
   }
   for (int i = 0; i < copies; ++i) {
     Payload payload = (i + 1 < copies) ? bytes : std::move(bytes);
+    FrameFaults fx;
+    fx.duplicate = i > 0;
     double delay = base_delay;
     if (faults_.reorder_rate > 0.0 &&
-        fault_prng_.bernoulli(faults_.reorder_rate)) {
-      delay += fault_prng_.uniform_real(0.0, faults_.reorder_extra_ms);
-      counters_[to.v].msgs_reordered += 1;
-      total_.msgs_reordered += 1;
+        prng->bernoulli(faults_.reorder_rate)) {
+      delay += prng->uniform_real(0.0, faults_.reorder_extra_ms);
+      fx.reordered = true;
     }
-    bool corrupted = false;
     if (faults_.corrupt_rate > 0.0 && !payload->empty() &&
-        fault_prng_.bernoulli(faults_.corrupt_rate)) {
+        prng->bernoulli(faults_.corrupt_rate)) {
       // Copy-on-write: the mangled frame must not contaminate other
       // receivers of a shared broadcast payload.
-      corrupted = true;
+      fx.corrupted = true;
       auto mangled =
           std::make_shared<std::vector<std::uint8_t>>(*payload);
-      const std::uint64_t flips = 1 + fault_prng_.below(3);
+      const std::uint64_t flips = 1 + prng->below(3);
       for (std::uint64_t f = 0; f < flips; ++f) {
         const std::size_t at =
-            static_cast<std::size_t>(fault_prng_.below(mangled->size()));
+            static_cast<std::size_t>(prng->below(mangled->size()));
         (*mangled)[at] ^=
-            static_cast<std::uint8_t>(1u << fault_prng_.below(8));
+            static_cast<std::uint8_t>(1u << prng->below(8));
       }
       payload = std::move(mangled);
-      counters_[to.v].msgs_corrupted += 1;
-      total_.msgs_corrupted += 1;
+      if (faults_.corrupt_deliver_fraction < 1.0 &&
+          !prng->bernoulli(faults_.corrupt_deliver_fraction)) {
+        fx.checksum_caught = true;
+      }
     }
-    deliver_frame(from, to, *link, std::move(payload), delay, corrupted, cls);
+    if (faults_.loss_rate > 0.0 && prng->bernoulli(faults_.loss_rate)) {
+      fx.lost = true;
+    }
+    deliver_frame(from, to, *link, std::move(payload), delay, fx, cls);
   }
   return true;
 }
 
 void Network::deliver_frame(AdId from, AdId to, LinkId link, Payload bytes,
-                            double delay_ms, bool corrupted, MsgClass cls) {
-  engine_.after(delay_ms, [this, from, to, link, corrupted, cls,
-                           payload = std::move(bytes)]() {
+                            double delay_ms, FrameFaults fx, MsgClass cls) {
+  // Keyed by the sender's stream (its position in the deterministic total
+  // order), owned by the receiver (the shard it executes on).
+  engine_.after_node(delay_ms, from.v + 1, to.v,
+                     [this, from, to, link, fx, cls,
+                      payload = std::move(bytes)]() {
+    // Receiver-side accounting only: this event runs on `to`'s shard.
+    // The fault flags count at the receiving interface whether or not
+    // the frame survives to the protocol.
+    Counters& c = counters_[to.v];
+    if (fx.duplicate) c.msgs_duplicated += 1;
+    if (fx.reordered) c.msgs_reordered += 1;
+    if (fx.corrupted) c.msgs_corrupted += 1;
     // Link may have gone down while the message was in flight.
     if (!topo_.link(link).up) {
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+      c.msgs_dropped += 1;
       return;
     }
-    if (faults_.loss_rate > 0.0 && fault_prng_.bernoulli(faults_.loss_rate)) {
-      ++losses_;
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+    if (fx.lost) {
+      const std::uint32_t shard = engine_.current_shard();
+      IDR_CHECK(shard < losses_.size());
+      ++losses_[shard];
+      c.msgs_dropped += 1;
       return;
     }
-    if (corrupted && faults_.corrupt_deliver_fraction < 1.0 &&
-        !fault_prng_.bernoulli(faults_.corrupt_deliver_fraction)) {
+    if (fx.checksum_caught) {
       // The modeled datagram checksum caught the mangled frame at the
       // receiving interface; it never reaches the protocol.
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+      c.msgs_dropped += 1;
       return;
     }
     if (quarantined_[from.v]) {
       // The sender has been quarantined by the conformance monitor:
       // every receiving interface discards its frames (keepalives
       // included, so it cannot revive its own liveness entry).
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+      c.msgs_dropped += 1;
       return;
     }
     Node* n = nodes_[to.v].get();
     if (!n) {
       // Receiver crashed while the frame was in flight.
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+      c.msgs_dropped += 1;
       return;
     }
     if (overload_.enabled()) {
       enqueue_ingress(from, to, link, payload, cls);
       return;
     }
-    counters_[to.v].msgs_delivered += 1;
-    total_.msgs_delivered += 1;
-    last_delivery_ = engine_.now();
+    c.msgs_delivered += 1;
+    note_delivery();
     n->deliver(from, topo_.adjacency_slot(link, to), *payload);
   });
 }
 
 void Network::set_overload(const OverloadConfig& config) {
+  IDR_CHECK_MSG(!(config.enabled() && engine_.sharded()),
+                "overload protection is sequential-only: the shared "
+                "OverloadStats aggregate is written from delivery events");
   overload_ = config;
   if (overload_.service_batch == 0) overload_.service_batch = 1;
   if (overload_.service_interval_ms <= 0.0) overload_.service_interval_ms = 1.0;
@@ -532,12 +575,10 @@ void Network::enqueue_ingress(AdId from, AdId to, LinkId link, Payload payload,
     }
     if (victim == kMsgClassCount) {
       ++overload_stats_.dropped[c];
-      counters_[from.v].msgs_dropped += 1;
-      total_.msgs_dropped += 1;
+      counters_[to.v].msgs_dropped += 1;
       return;
     }
-    counters_[iq.cls[victim].back().from.v].msgs_dropped += 1;
-    total_.msgs_dropped += 1;
+    counters_[to.v].msgs_dropped += 1;
     iq.cls[victim].pop_back();
     --iq.depth;
     ++overload_stats_.dropped[victim];
@@ -551,8 +592,8 @@ void Network::enqueue_ingress(AdId from, AdId to, LinkId link, Payload payload,
   }
   if (!iq.service_scheduled) {
     iq.service_scheduled = true;
-    engine_.after(overload_.service_interval_ms,
-                  [this, to] { service_ingress(to); });
+    engine_.after_node(overload_.service_interval_ms, to.v + 1, to.v,
+                       [this, to] { service_ingress(to); });
   }
 }
 
@@ -576,33 +617,44 @@ void Network::service_ingress(AdId to) {
       }
       if (quarantined_[f.from.v]) {
         // Sender was quarantined while the frame sat queued.
-        counters_[f.from.v].msgs_dropped += 1;
-        total_.msgs_dropped += 1;
+        counters_[to.v].msgs_dropped += 1;
         continue;
       }
       counters_[to.v].msgs_delivered += 1;
-      total_.msgs_delivered += 1;
-      last_delivery_ = engine_.now();
+      note_delivery();
       n->deliver(f.from, topo_.adjacency_slot(f.link, to), *f.payload,
                  f.arrival_ms);
     }
   }
   if (iq.depth > 0 && !iq.service_scheduled) {
     iq.service_scheduled = true;
-    engine_.after(overload_.service_interval_ms,
-                  [this, to] { service_ingress(to); });
+    engine_.after_node(overload_.service_interval_ms, to.v + 1, to.v,
+                       [this, to] { service_ingress(to); });
   }
 }
 
-void Network::set_faults(const FaultConfig& faults,
-                         std::uint64_t seed) noexcept {
+void Network::set_faults(const FaultConfig& faults, std::uint64_t seed) {
   faults_ = faults;
-  fault_prng_.reseed(seed);
+  fault_seed_ = seed;
+  reseed_fault_prngs();
 }
 
-void Network::set_loss(double rate, std::uint64_t seed) noexcept {
+void Network::set_loss(double rate, std::uint64_t seed) {
   faults_.loss_rate = rate;
-  fault_prng_.reseed(seed);
+  fault_seed_ = seed;
+  reseed_fault_prngs();
+}
+
+void Network::reseed_fault_prngs() {
+  fault_prng_.clear();
+  if (!faults_.any()) return;
+  fault_prng_.reserve(nodes_.size());
+  for (std::size_t ad = 0; ad < nodes_.size(); ++ad) {
+    // One independent stream per sender AD, derived from the run seed.
+    std::uint64_t sm =
+        fault_seed_ + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ad) + 1);
+    fault_prng_.emplace_back(splitmix64(sm));
+  }
 }
 
 void Network::set_link_state(LinkId link, bool up) {

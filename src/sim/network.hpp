@@ -16,6 +16,18 @@
 //     protocol detects a crashed or unreachable neighbor from silence
 //     instead of the instantaneous on_link_change oracle (which can be
 //     disabled entirely with set_link_notifications(false)).
+//
+// Sharded execution (Engine::enable_sharding, see shard.hpp) imposes an
+// ownership discipline this class follows throughout: an event scheduled
+// for AD `x` runs on `x`'s shard and may only touch `x`-indexed state.
+// Frames are keyed by the sender's stream but execute on the receiver's
+// shard, so all delivery-time accounting (delivered/dropped/duplicated/
+// reordered/corrupted) is receiver-attributed, per-frame fault decisions
+// are drawn at send time from the sender's own PRNG stream, and the few
+// genuinely global aggregates (losses, last delivery time) are kept
+// per-shard and folded on read. Global mutations -- crash/restart, link
+// state, quarantine -- are driver actions and must run as control-stream
+// events (Engine::at), which a sharded engine serializes between windows.
 #pragma once
 
 #include <cstddef>
@@ -283,7 +295,9 @@ class Network {
   // --- overload protection -------------------------------------------
   // Bounded class-prioritized ingress queues on every AD (see MsgClass).
   // Default-off; enabling changes delivery timing, so differential
-  // transcripts are only stable with it off.
+  // transcripts are only stable with it off. Sequential backend only
+  // (checked): the global OverloadStats aggregate is written from
+  // delivery events, which a sharded engine runs concurrently.
   void set_overload(const OverloadConfig& config);
   [[nodiscard]] const OverloadConfig& overload() const noexcept {
     return overload_;
@@ -368,12 +382,12 @@ class Network {
   [[nodiscard]] Node* node(AdId ad);
 
   [[nodiscard]] const Counters& counters(AdId ad) const;
-  [[nodiscard]] const Counters& total() const noexcept { return total_; }
+  // Network-wide totals, folded from the per-AD counters on read (so no
+  // event ever writes a global aggregate; see the sharding note on top).
+  [[nodiscard]] Counters total() const;
   // Simulated time of the most recent protocol message delivery; the
   // convergence benchmarks read this after draining the event queue.
-  [[nodiscard]] SimTime last_delivery_time() const noexcept {
-    return last_delivery_;
-  }
+  [[nodiscard]] SimTime last_delivery_time() const noexcept;
   void reset_counters();
 
   // A protocol parsed and rejected a malformed PDU instead of aborting.
@@ -387,15 +401,19 @@ class Network {
 
   // Full adversarial fault model (loss + corruption + duplication +
   // reordering), deterministic in the seed.
-  void set_faults(const FaultConfig& faults, std::uint64_t seed) noexcept;
+  // Every per-frame decision is drawn at send time from the sender's own
+  // PRNG stream (seeded from `seed` x sender AD), so the fault schedule
+  // is a pure function of the seed -- independent of event interleaving,
+  // backend, and shard count.
+  void set_faults(const FaultConfig& faults, std::uint64_t seed);
   [[nodiscard]] const FaultConfig& faults() const noexcept { return faults_; }
 
   // Random in-flight loss only: each delivery independently dropped with
   // this probability (deterministic in the seed). Models the unreliable
   // datagram service the paper assumes ("sequencing and reliability are
   // left to the transport layer").
-  void set_loss(double rate, std::uint64_t seed) noexcept;
-  [[nodiscard]] std::uint64_t losses() const noexcept { return losses_; }
+  void set_loss(double rate, std::uint64_t seed);
+  [[nodiscard]] std::uint64_t losses() const noexcept;
 
   // Generation counter for an AD's node slot; bumped on crash so stale
   // timers scheduled by a destroyed node can detect they are orphaned.
@@ -449,12 +467,29 @@ class Network {
  private:
   friend class Node;
 
+  // Per-frame fault decisions, all made at send time on the sender's
+  // shard; the delivery event just acts on them receiver-side.
+  struct FrameFaults {
+    bool duplicate = false;  // this frame is the injected extra copy
+    bool reordered = false;
+    bool corrupted = false;
+    bool checksum_caught = false;  // corrupted + the modeled checksum saw it
+    bool lost = false;             // silently lost in flight
+  };
+
   void deliver_frame(AdId from, AdId to, LinkId link, Payload payload,
-                     double delay_ms, bool corrupted, MsgClass cls);
+                     double delay_ms, FrameFaults fx, MsgClass cls);
   void enqueue_ingress(AdId from, AdId to, LinkId link, Payload payload,
                        MsgClass cls);
   void service_ingress(AdId to);
   void end_grace(AdId ad);
+  void reseed_fault_prngs();
+  // Sender-stream PRNG; null when no fault/loss rate is configured.
+  [[nodiscard]] Prng* fault_prng(AdId from) noexcept {
+    return fault_prng_.empty() ? nullptr : &fault_prng_[from.v];
+  }
+  // Delivery bookkeeping owned by the executing shard.
+  void note_delivery();
 
   struct QueuedFrame {
     AdId from;
@@ -473,12 +508,12 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by AdId
   std::vector<std::uint64_t> generations_;    // indexed by AdId
   std::vector<Counters> counters_;            // indexed by AdId
-  Counters total_;
-  SimTime last_delivery_ = 0.0;
+  std::vector<SimTime> last_delivery_;        // indexed by shard
   double per_byte_delay_ms_ = 0.0;
   FaultConfig faults_;
-  Prng fault_prng_{0};
-  std::uint64_t losses_ = 0;
+  std::uint64_t fault_seed_ = 0;
+  std::vector<Prng> fault_prng_;           // indexed by sender AdId
+  std::vector<std::uint64_t> losses_;      // indexed by shard
   std::uint64_t crashes_ = 0;
   std::size_t down_count_ = 0;
   bool link_notifications_ = true;

@@ -142,6 +142,12 @@ ArchRunOutput run_one(const std::string& arch, const SimCase& c,
   }
 
   Engine engine(options.scheduler);
+  EngineBackend backend;
+  backend.scheduler = options.scheduler;
+  backend.shards = options.shards;
+  backend.threads = options.threads;
+  backend.lookahead_ms = options.lookahead_ms;
+  apply_engine_backend(engine, topo, backend);
   Network net(engine, topo);
 
   std::vector<ByzantineSpec> byz;

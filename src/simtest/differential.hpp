@@ -90,6 +90,15 @@ struct DiffOptions {
   // Event-scheduler backend; the engine-equivalence tests run the same
   // seed under both backends and require identical results.
   SchedulerKind scheduler = SchedulerKind::kCalendar;
+  // Sharded-parallel backend: partition each case's topology into
+  // `shards` conservative-window shards (1 = sequential reference).
+  // threads == 0 drives the shards inline on the caller's thread, which
+  // is byte-identical to the threaded run by construction; either way
+  // the result must match the sequential backend exactly.
+  std::uint32_t shards = 1;
+  unsigned threads = 0;
+  // Testing-only window-lookahead shrink; 0 keeps the topology minimum.
+  double lookahead_ms = 0.0;
 };
 
 struct DiffResult {

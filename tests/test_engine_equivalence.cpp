@@ -1,11 +1,17 @@
-// Engine equivalence: the calendar-queue scheduler must be observationally
-// identical to the reference binary heap. Both backends promise the same
-// total order on (time, seq), so an entire differential run -- four design
-// points, scripted churn/crash/Byzantine schedules, seeded message faults,
+// Engine equivalence: every alternative backend must be observationally
+// identical to the sequential reference. Two axes are cross-checked:
+//
+//  * scheduler: the calendar queue vs the reference binary heap, both
+//    promising the same total order on (time, stream, seq);
+//  * execution: the sharded-parallel engine (conservative lookahead
+//    windows, 2/4/8 shards, inline and threaded) vs the sequential run.
+//
+// An entire differential run -- four design points, scripted
+// churn/crash/Byzantine schedules, seeded message faults,
 // invariant-monitor sweeps -- must come out byte-identical: every flow
 // classification count, every violation record, every invariant finding,
 // the counter fingerprints and the event totals. Any drift at all means
-// the calendar queue reordered two events and is not a drop-in scheduler.
+// a backend reordered two events and is not a drop-in replacement.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -78,6 +84,74 @@ TEST(EngineEquivalence, CalendarAndHeapRunsAreByteIdentical) {
     const DiffResult heap = run_differential(c, options);
 
     EXPECT_EQ(transcript(calendar), transcript(heap));
+  }
+}
+
+TEST(EngineEquivalence, ShardedRunsAreByteIdenticalToSequential) {
+  // The tentpole equivalence claim: for every seed and every shard count
+  // the conservatively synchronized parallel engine produces the exact
+  // sequential transcript. Shard count 1 is the sequential run itself;
+  // 2/4/8 partition the case topology and drive the windows inline (the
+  // threaded path is covered below -- it executes the same windows).
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE(seed);
+    SimCaseParams params;
+    params.seed = seed;
+    const SimCase c = generate_sim_case(params);
+
+    DiffOptions options;
+    options.check_determinism = false;
+    options.shards = 1;
+    const std::string reference = transcript(run_differential(c, options));
+    for (const std::uint32_t shards : {2u, 4u, 8u}) {
+      SCOPED_TRACE(shards);
+      options.shards = shards;
+      EXPECT_EQ(transcript(run_differential(c, options)), reference);
+    }
+  }
+}
+
+TEST(EngineEquivalence, ThreadedShardsMatchInlineShards) {
+  // Real worker threads execute the same per-window schedule the inline
+  // coordinator does; a handful of seeds here keeps the TSan job honest
+  // without re-running the whole matrix under contention.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(seed);
+    SimCaseParams params;
+    params.seed = seed;
+    const SimCase c = generate_sim_case(params);
+
+    DiffOptions options;
+    options.check_determinism = false;
+    options.shards = 4;
+    options.threads = 0;
+    const std::string inline_run = transcript(run_differential(c, options));
+    for (const unsigned threads : {2u, 4u}) {
+      SCOPED_TRACE(threads);
+      options.threads = threads;
+      EXPECT_EQ(transcript(run_differential(c, options)), inline_run);
+    }
+  }
+}
+
+TEST(EngineEquivalence, MinimumLookaheadStressesTheWindowBoundary) {
+  // Shrink the window lookahead to (nearly) the minimum legal value so
+  // every window closes right at the next event: cross-shard deliveries
+  // land exactly on window edges, the case the conservative-sync proof
+  // leans on hardest. The transcript must still be byte-identical.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE(seed);
+    SimCaseParams params;
+    params.seed = seed;
+    const SimCase c = generate_sim_case(params);
+
+    DiffOptions options;
+    options.check_determinism = false;
+    const std::string reference = transcript(run_differential(c, options));
+
+    options.shards = 4;
+    options.lookahead_ms = 1e-3;  // far below any real link delay
+    EXPECT_EQ(transcript(run_differential(c, options)), reference);
   }
 }
 

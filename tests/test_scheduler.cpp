@@ -23,7 +23,9 @@ namespace {
 using detail::CalendarQueue;
 using detail::SimEvent;
 
-SimEvent ev(SimTime t, std::uint64_t seq) { return SimEvent{t, seq, {}}; }
+SimEvent ev(SimTime t, std::uint64_t seq) {
+  return SimEvent{t, kControlStream, seq, {}};
+}
 
 // --- CalendarQueue in isolation ---------------------------------------
 
@@ -101,6 +103,37 @@ TEST(CalendarQueue, PushBehindTheScanPositionIsStillFound) {
   q.push(ev(0.5, 100));
   EXPECT_EQ(q.min_time(), 0.5);
   EXPECT_EQ(q.pop().seq, 100u);
+}
+
+TEST(CalendarQueue, StreamBreaksTimestampTiesBeforeSeq) {
+  // The full event key is (t, stream, seq): at one instant the control
+  // stream (0) pops first, then AD streams by id, FIFO within each.
+  CalendarQueue q;
+  q.push(SimEvent{2.0, 7, 0, {}});
+  q.push(SimEvent{2.0, kControlStream, 5, {}});
+  q.push(SimEvent{2.0, 3, 9, {}});
+  q.push(SimEvent{2.0, 3, 2, {}});
+  q.push(SimEvent{1.0, 9, 0, {}});
+  EXPECT_EQ(q.pop().stream, 9u);  // earlier time wins over any stream
+  EXPECT_EQ(q.pop().stream, kControlStream);
+  EXPECT_EQ(q.pop().seq, 2u);
+  EXPECT_EQ(q.pop().seq, 9u);
+  EXPECT_EQ(q.pop().stream, 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Scheduler, NodeStreamsKeepPerStreamFifoAndControlPriority) {
+  // at_node events at one instant run control-first then by stream id,
+  // independent of scheduling order -- the property that makes the order
+  // shard-count-invariant.
+  Engine engine;
+  std::vector<int> order;
+  engine.at_node(5.0, 2, 1, [&] { order.push_back(2); });
+  engine.at_node(5.0, 1, 0, [&] { order.push_back(1); });
+  engine.at(5.0, [&] { order.push_back(0); });
+  engine.at_node(5.0, 1, 0, [&] { order.push_back(3); });  // FIFO within 1
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3, 2}));
 }
 
 // --- the two backends against each other ------------------------------

@@ -297,6 +297,36 @@ TEST(Corpus, MinimizedReproducerReplaysDeterministically) {
   }
 }
 
+TEST(Corpus, FullCorpusReplaysIdenticallyOnTheParallelBackend) {
+  // Every golden reproducer, replayed through the sharded engine: clean
+  // cases stay clean, and every per-arch fingerprint and event total
+  // matches the sequential run exactly -- the corpus-level version of the
+  // engine-equivalence guarantee.
+  for (const char* name : {"clean-seed-1.simcase", "clean-seed-2.simcase",
+                           "buggy-lshh-min.simcase"}) {
+    SCOPED_TRACE(name);
+    const std::string text = read_corpus(name);
+    ASSERT_FALSE(text.empty());
+    const SimCase c = parse_ok(text);
+
+    DiffOptions options;
+    options.check_determinism = false;
+    const DiffResult sequential = run_differential(c, options);
+    options.shards = 4;
+    const DiffResult sharded = run_differential(c, options);
+
+    EXPECT_EQ(sequential.clean(), sharded.clean());
+    EXPECT_EQ(sequential.signatures(), sharded.signatures());
+    ASSERT_EQ(sequential.archs.size(), sharded.archs.size());
+    for (std::size_t i = 0; i < sequential.archs.size(); ++i) {
+      SCOPED_TRACE(sequential.archs[i].arch);
+      EXPECT_EQ(sequential.archs[i].fingerprint, sharded.archs[i].fingerprint);
+      EXPECT_EQ(sequential.archs[i].events_processed,
+                sharded.archs[i].events_processed);
+    }
+  }
+}
+
 // --- structured invariant findings (satellite S1) ----------------------
 
 class NullNode : public Node {

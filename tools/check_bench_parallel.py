@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Gate for the sharded-parallel engine bench (BENCH_parallel.json).
+
+Checks one bench_parallel/v1 file (fresh or checked-in) for the PR's
+acceptance criteria, per design point:
+
+  * equivalence is absolute: every (arch, threads) cell must have
+    fingerprint_match and events_match true -- a parallel run that
+    drifts from the sequential transcript fails the gate outright;
+  * available parallelism: critical_path_speedup >= --min-speedup
+    (default 3.0). This metric is deterministic -- (parallel + control
+    events) / (per-window busiest shard + control events) -- so it
+    gates identically on every host;
+  * measured wall speedup at the highest thread count >= --min-speedup
+    is gated ONLY when the recorded host_cpus covers that thread count.
+    On smaller hosts (including single-core CI runners) the wall
+    numbers are reported but informational: threads cannot beat the
+    sequential run without cores to run on.
+
+Usage:
+  tools/check_bench_parallel.py --current BENCH_parallel.json \
+      [--min-speedup 3.0]
+
+Exit status: 0 = pass, 1 = violation, 2 = bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench_parallel: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "bench_parallel/v1" or "runs" not in doc:
+        print(f"check_bench_parallel: {path} is not a bench_parallel/v1 file",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--current", required=True,
+                    help="BENCH_parallel.json to validate")
+    ap.add_argument("--min-speedup", type=float, default=3.0,
+                    help="floor for critical-path (and, when the host "
+                         "has the cores, wall) speedup (default 3.0)")
+    args = ap.parse_args()
+
+    doc = load(args.current)
+    host_cpus = int(doc.get("host_cpus", 0))
+    failures = []
+
+    if not doc["runs"]:
+        print("check_bench_parallel: no runs", file=sys.stderr)
+        sys.exit(2)
+
+    for run in doc["runs"]:
+        arch = run["arch"]
+        cells = run.get("threads", [])
+        if not cells:
+            failures.append(f"{arch}: no thread cells")
+            continue
+
+        for cell in cells:
+            t = cell["threads"]
+            if not cell.get("fingerprint_match"):
+                failures.append(
+                    f"{arch} threads={t}: fingerprint diverged from the "
+                    f"sequential run")
+            if not cell.get("events_match"):
+                failures.append(
+                    f"{arch} threads={t}: event count diverged from the "
+                    f"sequential run")
+
+        cp = float(run.get("critical_path_speedup", 0.0))
+        if cp < args.min_speedup:
+            failures.append(
+                f"{arch}: critical-path speedup {cp:.2f}x < "
+                f"{args.min_speedup:.2f}x")
+
+        top = max(cells, key=lambda c: c["threads"])
+        wall = float(top.get("wall_speedup", 0.0))
+        gated = host_cpus >= top["threads"]
+        verdict = ""
+        if gated and wall < args.min_speedup:
+            failures.append(
+                f"{arch}: wall speedup {wall:.2f}x at {top['threads']} "
+                f"threads < {args.min_speedup:.2f}x (host_cpus={host_cpus})")
+            verdict = "  <-- FAIL"
+        wall_note = "gated" if gated else (
+            f"informational: host_cpus={host_cpus} < {top['threads']}")
+        print(f"  {arch:8s} critical-path={cp:5.2f}x "
+              f"wall@{top['threads']}={wall:5.2f}x ({wall_note}){verdict}")
+
+    if failures:
+        print("check_bench_parallel: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench_parallel: OK "
+          f"(min speedup {args.min_speedup:.2f}x, host_cpus={host_cpus})")
+
+
+if __name__ == "__main__":
+    main()

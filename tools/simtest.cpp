@@ -11,13 +11,16 @@
 // Usage: simtest [--seeds N] [--seed S] [--shrink] [--json PATH]
 //                [--replay FILE] [--out DIR] [--inject-bug]
 //                [--min-ads N] [--max-ads N] [--flows N] [--horizon-ms T]
-//                [--no-determinism]
+//                [--no-determinism] [--shards N] [--threads N]
 //   --seeds N      run seeds S..S+N-1 (default S=1, N=8)
 //   --shrink       delta-debug every failing case to a minimal reproducer
 //   --out DIR      write (shrunk) reproducers to DIR/<case>.simcase
 //   --replay FILE  load one reproducer and run it instead of generating
 //   --inject-bug   arm the known-bad LS-HbH probe defect (tests the tester)
 //   --json PATH    machine-readable per-seed report
+//   --shards N     run the sharded-parallel engine with N shards (1 =
+//                  sequential reference; results are identical either way)
+//   --threads N    worker threads for the shards (0 = inline windows)
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +43,8 @@ struct ToolOptions {
   bool shrink = false;
   bool inject_bug = false;
   bool determinism = true;
+  std::uint32_t shards = 1;
+  unsigned threads = 0;
   std::string json_path;
   std::string out_dir;
   std::string replay_path;
@@ -136,6 +141,10 @@ int main(int argc, char** argv) {
     else if (arg == "--shrink") opts.shrink = true;
     else if (arg == "--inject-bug") opts.inject_bug = true;
     else if (arg == "--no-determinism") opts.determinism = false;
+    else if (arg == "--shards")
+      opts.shards = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--threads")
+      opts.threads = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--json") opts.json_path = next();
     else if (arg == "--out") opts.out_dir = next();
     else if (arg == "--replay") opts.replay_path = next();
@@ -156,6 +165,8 @@ int main(int argc, char** argv) {
   DiffOptions diff;
   diff.check_determinism = opts.determinism;
   diff.inject_probe_bug = opts.inject_bug;
+  diff.shards = opts.shards;
+  diff.threads = opts.threads;
 
   std::vector<SimCase> cases;
   if (!opts.replay_path.empty()) {
